@@ -1,0 +1,47 @@
+// Core selection beyond Slurm: generate --cpu-bind=map_cpu lists for a
+// LUMI node with Algorithm 3, showing selections (one core per L3, per
+// NUMA, …) that no --distribution value can express, and the hierarchy
+// each selection induces for a second reordering step (§3.4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/perm"
+	"repro/internal/slurm"
+)
+
+func main() {
+	node := cluster.LUMINodeHierarchy() // ⟦2, 4, 2, 8⟧
+	fmt.Printf("LUMI compute node: %s — 128 cores\n\n", node)
+
+	const nprocs = 8
+	fmt.Printf("selecting %d cores with every hierarchy order:\n\n", nprocs)
+	seen := map[string]bool{}
+	for _, sigma := range perm.All(node.Depth()) {
+		list, err := slurm.MapCPU(node, sigma, nprocs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		key := fmt.Sprint(list)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		induced := "non-uniform"
+		if arities, err := slurm.InducedHierarchy(node, list); err == nil {
+			induced = fmt.Sprint(arities)
+		}
+		caption := ""
+		if d, ok := slurm.DistributionForOrder(node, sigma); ok {
+			caption = " (slurm: " + d.String() + ")"
+		}
+		fmt.Printf("order %-10s -> %s\n", perm.Format(sigma), slurm.FormatMapCPU(list))
+		fmt.Printf("  induced hierarchy %s%s\n", induced, caption)
+	}
+
+	fmt.Println("\nSlurm's --distribution only reaches the node and socket levels;")
+	fmt.Println("the orders above also place ranks per NUMA domain and per L3 cache.")
+}

@@ -1,0 +1,100 @@
+// Package ablate probes the robustness of the reproduction's conclusions
+// against the calibration of the simulated machines: the absolute link
+// bandwidths of Hydra and LUMI are estimates from public part specs, so
+// every headline shape (spread-wins-alone, packed-wins-under-contention,
+// packed-is-contention-immune) is re-checked under perturbed calibrations.
+// If a conclusion held only for one lucky set of constants it would not be
+// a reproduction of the paper's phenomenon.
+package ablate
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+)
+
+// Scale returns a copy of the spec with every finite bandwidth of the
+// selected level multiplied by factor (level -1 scales all levels).
+func Scale(spec netmodel.Spec, level int, factor float64) netmodel.Spec {
+	out := spec
+	out.Levels = append([]netmodel.LevelSpec(nil), spec.Levels...)
+	for l := range out.Levels {
+		if level >= 0 && l != level {
+			continue
+		}
+		if out.Levels[l].UpBandwidth > 0 {
+			out.Levels[l].UpBandwidth *= factor
+		}
+		if out.Levels[l].BusBandwidth > 0 {
+			out.Levels[l].BusBandwidth *= factor
+		}
+		if out.Levels[l].MemBandwidth > 0 {
+			out.Levels[l].MemBandwidth *= factor
+		}
+	}
+	if level < 0 && out.FabricBandwidth > 0 {
+		out.FabricBandwidth *= factor
+	}
+	return out
+}
+
+// Conclusion is one checked headline shape.
+type Conclusion struct {
+	Name string
+	Hold bool
+	Info string
+}
+
+// CheckHeadlines measures the §4.1.3 shapes on the given machine at the
+// given total size and reports whether each holds. spread and packed are
+// the extreme orders of the hierarchy; commSize must divide the machine.
+func CheckHeadlines(spec netmodel.Spec, h topology.Hierarchy, commSize int, size int64, spread, packed []int) ([]Conclusion, error) {
+	cfg := bench.Config{
+		Spec:      spec,
+		Hierarchy: h,
+		CommSize:  commSize,
+		Coll:      bench.Alltoall,
+		Iters:     1,
+	}
+	s1, err := bench.Measure(cfg, spread, size, false)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := bench.Measure(cfg, spread, size, true)
+	if err != nil {
+		return nil, err
+	}
+	p1, err := bench.Measure(cfg, packed, size, false)
+	if err != nil {
+		return nil, err
+	}
+	pa, err := bench.Measure(cfg, packed, size, true)
+	if err != nil {
+		return nil, err
+	}
+	ratio := pa.Bandwidth / p1.Bandwidth
+	return []Conclusion{
+		{
+			Name: "spread wins alone",
+			Hold: s1.Bandwidth > p1.Bandwidth,
+			Info: fmt.Sprintf("spread %.3g vs packed %.3g B/s", s1.Bandwidth, p1.Bandwidth),
+		},
+		{
+			Name: "packed wins under contention",
+			Hold: pa.Bandwidth > sa.Bandwidth,
+			Info: fmt.Sprintf("packed %.3g vs spread %.3g B/s", pa.Bandwidth, sa.Bandwidth),
+		},
+		{
+			Name: "packed contention-immune",
+			Hold: ratio > 0.9 && ratio < 1.1,
+			Info: fmt.Sprintf("all/one ratio %.3f", ratio),
+		},
+		{
+			Name: "spread collapses under contention",
+			Hold: sa.Bandwidth*2 < s1.Bandwidth,
+			Info: fmt.Sprintf("one %.3g vs all %.3g B/s", s1.Bandwidth, sa.Bandwidth),
+		},
+	}, nil
+}

@@ -1,0 +1,82 @@
+package ablate
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestScale(t *testing.T) {
+	spec := cluster.Hydra(4, 1)
+	doubled := Scale(spec, -1, 2)
+	for l := range spec.Levels {
+		if spec.Levels[l].UpBandwidth > 0 &&
+			doubled.Levels[l].UpBandwidth != 2*spec.Levels[l].UpBandwidth {
+			t.Errorf("level %d uplink not doubled", l)
+		}
+	}
+	// Scaling must not mutate the original.
+	if spec.Levels[0].UpBandwidth == doubled.Levels[0].UpBandwidth {
+		t.Error("Scale mutated its input")
+	}
+	one := Scale(spec, 1, 0.5)
+	if one.Levels[0].UpBandwidth != spec.Levels[0].UpBandwidth {
+		t.Error("level-scoped Scale touched other levels")
+	}
+	if one.Levels[1].UpBandwidth != spec.Levels[1].UpBandwidth/2 {
+		t.Error("level-scoped Scale missed its level")
+	}
+}
+
+func TestHeadlinesHoldAtBaseline(t *testing.T) {
+	spec := cluster.Hydra(16, 1)
+	h := cluster.HydraHierarchy(16)
+	cons, err := CheckHeadlines(spec, h, 16, 64<<20, []int{0, 1, 2, 3}, []int{3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cons {
+		if !c.Hold {
+			t.Errorf("baseline: %q does not hold (%s)", c.Name, c.Info)
+		}
+	}
+}
+
+// The paper's shapes must be calibration-robust: they hold when every
+// bandwidth in the machine is doubled or halved, and when only the NIC
+// level is perturbed.
+func TestHeadlinesRobustToCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	h := cluster.HydraHierarchy(16)
+	cases := []struct {
+		name   string
+		level  int
+		factor float64
+	}{
+		{"all-half", -1, 0.5},
+		{"all-double", -1, 2},
+		{"nic-half", 0, 0.5},
+		{"nic-double", 0, 2},
+		{"socket-double", 1, 2},
+	}
+	for _, c := range cases {
+		spec := Scale(cluster.Hydra(16, 1), c.level, c.factor)
+		cons, err := CheckHeadlines(spec, h, 16, 64<<20, []int{0, 1, 2, 3}, []int{3, 2, 1, 0})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, con := range cons {
+			// "spread wins alone" legitimately flips when NICs get very
+			// slow relative to the memory system; the contention
+			// conclusions must never flip.
+			if con.Name == "spread wins alone" && c.name == "nic-half" {
+				continue
+			}
+			if !con.Hold {
+				t.Errorf("%s: %q does not hold (%s)", c.name, con.Name, con.Info)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package cluster provides the simulated machine models standing in for
+// the paper's two evaluation platforms (§4, "Machine descriptions"):
+//
+//   - Hydra: 32 nodes × two 16-core Intel Xeon Gold 6130F sockets,
+//     Omni-Path 100 Gb/s (one or two NICs per node). The paper describes a
+//     node as ⟦2, 2, 8⟧ — each socket faked as two groups of eight cores.
+//   - LUMI: HPE Cray EX nodes with two 64-core AMD EPYC 7763 sockets, four
+//     NUMA domains per socket, two L3 complexes (CCX) per NUMA, eight cores
+//     per CCX, Slingshot-11 200 Gb/s. A node is ⟦2, 4, 2, 8⟧.
+//
+// Link capacities and latencies are calibrated from public figures for the
+// parts (NIC line rate, UPI/xGMI inter-socket links, DDR4 channel counts);
+// they aim to reproduce the qualitative shapes of the paper's results —
+// who wins, where crossovers fall — not the absolute numbers, which depend
+// on the authors' exact software stack.
+package cluster
+
+import (
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+)
+
+// HydraNodes is the size of the paper's Hydra cluster.
+const HydraNodes = 32
+
+// Hydra returns the Hydra machine model with the given node count and NICs
+// per node (Figure 8 contrasts 1 and 2). The hierarchy is
+// ⟦nodes, 2, 2, 8⟧: sockets, fake half-socket groups, cores.
+func Hydra(nodes, nics int) netmodel.Spec {
+	return netmodel.Spec{
+		Name: "hydra",
+		Levels: []netmodel.LevelSpec{
+			// Omni-Path HFI: 100 Gb/s ≈ 12.5 GB/s per NIC; inter-node
+			// latency of the paper's fabric is a couple of microseconds.
+			{Name: "node", Arity: nodes, UpBandwidth: 12.5e9, BusBandwidth: 38e9, Latency: 1.9e-6},
+			// UPI between the two sockets (~20 GB/s effective per direction).
+			{Name: "socket", Arity: 2, UpBandwidth: 20e9, BusBandwidth: 55e9, Latency: 0.9e-6, MemBandwidth: 80e9},
+			// Fake half-socket group: half the socket's memory system.
+			{Name: "group", Arity: 2, UpBandwidth: 30e9, BusBandwidth: 42e9, Latency: 0.5e-6, MemBandwidth: 42e9},
+			{Name: "core", Arity: 8, Latency: 0.3e-6},
+		},
+		NICsPerNode: nics,
+		// Xeon Gold 6130F: 2.1 GHz × 16 DP flops/cycle.
+		CoreFlops: 33.6e9,
+	}
+}
+
+// HydraReal returns Hydra without the fake level: ⟦nodes, 2, 16⟧, for the
+// fake-level ablation.
+func HydraReal(nodes, nics int) netmodel.Spec {
+	return netmodel.Spec{
+		Name: "hydra-real",
+		Levels: []netmodel.LevelSpec{
+			{Name: "node", Arity: nodes, UpBandwidth: 12.5e9, BusBandwidth: 38e9, Latency: 1.9e-6},
+			{Name: "socket", Arity: 2, UpBandwidth: 20e9, BusBandwidth: 55e9, Latency: 0.9e-6, MemBandwidth: 80e9},
+			{Name: "core", Arity: 16, Latency: 0.4e-6},
+		},
+		NICsPerNode: nics,
+		CoreFlops:   33.6e9,
+	}
+}
+
+// LUMI returns the LUMI machine model with the given node count:
+// ⟦nodes, 2, 4, 2, 8⟧.
+func LUMI(nodes int) netmodel.Spec {
+	return netmodel.Spec{
+		Name: "lumi",
+		Levels: []netmodel.LevelSpec{
+			// Slingshot-11: 200 Gb/s ≈ 25 GB/s.
+			{Name: "node", Arity: nodes, UpBandwidth: 25e9, BusBandwidth: 70e9, Latency: 1.8e-6},
+			// xGMI between the two EPYC sockets.
+			{Name: "socket", Arity: 2, UpBandwidth: 36e9, BusBandwidth: 110e9, Latency: 0.9e-6, MemBandwidth: 170e9},
+			// NUMA domain (NPS4 quadrant): two DDR4-3200 channels ≈ 45 GB/s.
+			{Name: "numa", Arity: 4, UpBandwidth: 50e9, BusBandwidth: 60e9, Latency: 0.45e-6, MemBandwidth: 45e9},
+			// CCX sharing one L3 slice.
+			{Name: "l3", Arity: 2, UpBandwidth: 55e9, BusBandwidth: 60e9, Latency: 0.25e-6, MemBandwidth: 50e9},
+			{Name: "core", Arity: 8, Latency: 0.1e-6},
+		},
+		// EPYC 7763: 2.45 GHz; CG's sparse kernels sustain a fraction of
+		// peak — the roofline uses an effective per-core rate.
+		CoreFlops: 9.8e9,
+	}
+}
+
+// LUMINode returns a single LUMI compute node as its own platform,
+// hierarchy ⟦2, 4, 2, 8⟧ (socket, numa, l3, core) — the machine of the
+// conjugate-gradient strong-scaling experiment (§4.3).
+func LUMINode() netmodel.Spec {
+	return netmodel.Spec{
+		Name: "lumi-node",
+		Levels: []netmodel.LevelSpec{
+			{Name: "socket", Arity: 2, UpBandwidth: 36e9, BusBandwidth: 110e9, Latency: 0.9e-6, MemBandwidth: 170e9},
+			{Name: "numa", Arity: 4, UpBandwidth: 50e9, BusBandwidth: 60e9, Latency: 0.45e-6, MemBandwidth: 45e9},
+			{Name: "l3", Arity: 2, UpBandwidth: 55e9, BusBandwidth: 60e9, Latency: 0.25e-6, MemBandwidth: 50e9},
+			{Name: "core", Arity: 8, Latency: 0.1e-6},
+		},
+		CoreFlops: 9.8e9,
+	}
+}
+
+// HydraFatTree folds a network level into the hierarchy as §3.2 sketches
+// ("the hierarchy can also include levels outside of nodes, like cabinets
+// or the topology of the network"): switches × nodes-per-switch × the
+// Hydra node. Each switch's uplink to the core carries a quarter of the
+// aggregate NIC bandwidth of its nodes (4:1 oversubscription, a common
+// cost-reduced fat-tree taper), so orders that spread communicators across
+// switches contend on a resource that plain Hydra does not model. The
+// §3.2 constraint applies: the job must exactly fill the selected switches
+// (ValidateNetworkPrefix).
+func HydraFatTree(switches, nodesPerSwitch, nics int) netmodel.Spec {
+	if nics <= 0 {
+		nics = 1
+	}
+	uplink := float64(nodesPerSwitch) * 12.5e9 * float64(nics) / 4
+	return netmodel.Spec{
+		Name: "hydra-fattree",
+		Levels: []netmodel.LevelSpec{
+			{Name: "switch", Arity: switches, UpBandwidth: uplink, Latency: 2.6e-6},
+			{Name: "node", Arity: nodesPerSwitch, UpBandwidth: 12.5e9 * float64(nics), BusBandwidth: 38e9, Latency: 1.9e-6},
+			{Name: "socket", Arity: 2, UpBandwidth: 20e9, BusBandwidth: 55e9, Latency: 0.9e-6, MemBandwidth: 80e9},
+			{Name: "group", Arity: 2, UpBandwidth: 30e9, BusBandwidth: 42e9, Latency: 0.5e-6, MemBandwidth: 42e9},
+			{Name: "core", Arity: 8, Latency: 0.3e-6},
+		},
+		// NICsPerNode multiplies level 0 — here the switch uplink — so the
+		// NIC factor is baked into the level bandwidths instead.
+		CoreFlops: 33.6e9,
+	}
+}
+
+// HydraHierarchy returns the ⟦nodes, 2, 2, 8⟧ hierarchy used throughout
+// the Hydra experiments.
+func HydraHierarchy(nodes int) topology.Hierarchy {
+	return topology.MustNew(nodes, 2, 2, 8)
+}
+
+// LUMIHierarchy returns the ⟦nodes, 2, 4, 2, 8⟧ hierarchy of LUMI.
+func LUMIHierarchy(nodes int) topology.Hierarchy {
+	return topology.MustNew(nodes, 2, 4, 2, 8)
+}
+
+// LUMINodeHierarchy returns the ⟦2, 4, 2, 8⟧ hierarchy of one LUMI node.
+func LUMINodeHierarchy() topology.Hierarchy {
+	return topology.MustNew(2, 4, 2, 8)
+}
+
+// HydraSlurmDefaultOrder is the order equivalent to the default Slurm
+// mapping on Hydra (block:cyclic — §4.2 names [1, 3, 2, 0]).
+func HydraSlurmDefaultOrder() []int { return []int{1, 3, 2, 0} }
+
+// LUMISlurmDefaultOrder is the order of LUMI's default mapping
+// (block:block, the initial enumeration — [4, 3, 2, 1, 0], Figure 5).
+func LUMISlurmDefaultOrder() []int { return []int{4, 3, 2, 1, 0} }

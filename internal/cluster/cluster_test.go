@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mixedradix"
+	"repro/internal/netmodel"
+	"repro/internal/slurm"
+)
+
+func TestHydraShape(t *testing.T) {
+	spec := Hydra(16, 1)
+	h := spec.Hierarchy()
+	if !reflect.DeepEqual(h.Arities(), []int{16, 2, 2, 8}) {
+		t.Errorf("Hydra arities = %v", h.Arities())
+	}
+	if h.Size() != 512 {
+		t.Errorf("Hydra size = %d", h.Size())
+	}
+	if !reflect.DeepEqual(h.Arities(), HydraHierarchy(16).Arities()) {
+		t.Error("Hydra spec and hierarchy helper disagree")
+	}
+}
+
+func TestHydraRealShape(t *testing.T) {
+	h := HydraReal(16, 1).Hierarchy()
+	if !reflect.DeepEqual(h.Arities(), []int{16, 2, 16}) {
+		t.Errorf("HydraReal arities = %v", h.Arities())
+	}
+	// Merging the fake level of Hydra must yield HydraReal's shape.
+	merged, err := HydraHierarchy(16).MergeLevels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Arities(), h.Arities()) {
+		t.Errorf("merged Hydra = %v, HydraReal = %v", merged.Arities(), h.Arities())
+	}
+}
+
+func TestLUMIShape(t *testing.T) {
+	h := LUMI(16).Hierarchy()
+	if !reflect.DeepEqual(h.Arities(), []int{16, 2, 4, 2, 8}) {
+		t.Errorf("LUMI arities = %v", h.Arities())
+	}
+	if h.Size() != 2048 {
+		t.Errorf("LUMI size = %d", h.Size())
+	}
+	node := LUMINode().Hierarchy()
+	if !reflect.DeepEqual(node.Arities(), []int{2, 4, 2, 8}) {
+		t.Errorf("LUMINode arities = %v", node.Arities())
+	}
+	if !reflect.DeepEqual(node.Arities(), LUMINodeHierarchy().Arities()) {
+		t.Error("LUMINode spec and hierarchy helper disagree")
+	}
+}
+
+// The documented Slurm default orders must match the --distribution values
+// the paper names for them.
+func TestDefaultOrdersMatchDistributions(t *testing.T) {
+	hydra := HydraHierarchy(4)
+	d, ok := slurm.DistributionForOrder(hydra, HydraSlurmDefaultOrder())
+	if !ok || d.String() != "block:cyclic" {
+		t.Errorf("Hydra default order resolves to %v (ok=%v), want block:cyclic", d, ok)
+	}
+	lumi := LUMIHierarchy(2)
+	d, ok = slurm.DistributionForOrder(lumi, LUMISlurmDefaultOrder())
+	if !ok || d.String() != "block:block" {
+		t.Errorf("LUMI default order resolves to %v (ok=%v), want block:block", d, ok)
+	}
+}
+
+func TestFatTreeShapeAndConstraint(t *testing.T) {
+	spec := HydraFatTree(2, 4, 1)
+	h := spec.Hierarchy()
+	if !reflect.DeepEqual(h.Arities(), []int{2, 4, 2, 2, 8}) {
+		t.Errorf("fat-tree arities = %v", h.Arities())
+	}
+	// §3.2: one network level, the job's 8 nodes must fill both switches.
+	if err := h.ValidateNetworkPrefix(2, 8); err != nil {
+		t.Errorf("valid fat-tree job rejected: %v", err)
+	}
+	if err := h.ValidateNetworkPrefix(2, 6); err == nil {
+		t.Error("partially-filled switches accepted")
+	}
+}
+
+// Spreading communicators across switches must hit the oversubscribed
+// switch uplinks: the switch-spread order loses to the node-spread-within-
+// switch order under simultaneous traffic.
+func TestFatTreeSwitchContention(t *testing.T) {
+	spec := HydraFatTree(2, 4, 1)
+	h := spec.Hierarchy()
+	cfg := bench.Config{
+		Spec:      spec,
+		Hierarchy: h,
+		CommSize:  16,
+		Coll:      bench.Alltoall,
+		Iters:     1,
+	}
+	// Order [0,…]: switch index varies fastest → every communicator
+	// crosses the oversubscribed inter-switch core. Order [1,2,3,0,4]:
+	// node, socket and group vary before the switch → each 16-rank
+	// communicator fills exactly one switch and never crosses the core.
+	acrossSwitches := []int{0, 1, 2, 3, 4}
+	withinSwitch := []int{1, 2, 3, 0, 4}
+	across, err := bench.Measure(cfg, acrossSwitches, 16<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, err := bench.Measure(cfg, withinSwitch, 16<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if across.Bandwidth >= within.Bandwidth {
+		t.Errorf("switch-crossing order (%.3g) should lose to switch-local order (%.3g)",
+			across.Bandwidth, within.Bandwidth)
+	}
+}
+
+// Every predefined machine must accept all of its orders: reordering any
+// of them is a bijection (guards against arity typos).
+func TestAllMachinesReorderable(t *testing.T) {
+	specs := map[string][]int{
+		"hydra":    Hydra(4, 1).Hierarchy().Arities(),
+		"real":     HydraReal(4, 1).Hierarchy().Arities(),
+		"lumi":     LUMI(2).Hierarchy().Arities(),
+		"luminode": LUMINode().Hierarchy().Arities(),
+		"fattree":  HydraFatTree(2, 2, 1).Hierarchy().Arities(),
+	}
+	for name, ar := range specs {
+		if err := mixedradix.CheckHierarchy(ar); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSpecLatenciesMonotone(t *testing.T) {
+	// Crossing latency must not increase when moving inwards (outer
+	// crossings are slower) for every machine model.
+	for _, c := range []struct {
+		name string
+		spec netmodel.Spec
+	}{
+		{"hydra", Hydra(4, 1)},
+		{"hydra-real", HydraReal(4, 1)},
+		{"lumi", LUMI(2)},
+		{"luminode", LUMINode()},
+		{"fattree", HydraFatTree(2, 2, 1)},
+	} {
+		for i := 1; i < len(c.spec.Levels); i++ {
+			if c.spec.Levels[i].Latency > c.spec.Levels[i-1].Latency {
+				t.Errorf("%s: latency increases inwards at level %d", c.name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Collector: build the communication matrix at runtime from the simulated
+// MPI's point-to-point stream (the introspection-monitoring approach of
+// the paper's §2 reference [11]).
+
+package commmatrix
+
+import "sync"
+
+// Collector implements mpi.Config's P2PTracer: it accumulates every
+// point-to-point message into a Matrix. Safe for concurrent use.
+type Collector struct {
+	mu sync.Mutex
+	m  *Matrix
+}
+
+// NewCollector returns a collector for n world ranks.
+func NewCollector(n int) *Collector {
+	return &Collector{m: New(n)}
+}
+
+// P2P records one message.
+func (c *Collector) P2P(src, dst int, bytes int64) {
+	if src == dst || bytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.m.Add(src, dst, float64(bytes))
+	c.mu.Unlock()
+}
+
+// Matrix returns a snapshot copy of the accumulated matrix.
+func (c *Collector) Matrix() *Matrix {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := New(c.m.n)
+	copy(out.vol, c.m.vol)
+	return out
+}

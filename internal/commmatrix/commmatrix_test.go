@@ -1,0 +1,211 @@
+package commmatrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := New(4)
+	m.Add(0, 1, 100)
+	m.Add(1, 0, 50)
+	m.Add(2, 2, 999) // self-traffic ignored
+	if m.At(0, 1) != 150 || m.At(1, 0) != 150 {
+		t.Errorf("At(0,1)=%v At(1,0)=%v", m.At(0, 1), m.At(1, 0))
+	}
+	if m.At(2, 2) != 0 {
+		t.Error("self traffic recorded")
+	}
+	if m.Total() != 150 {
+		t.Errorf("Total = %v", m.Total())
+	}
+	if m.Size() != 4 {
+		t.Errorf("Size = %d", m.Size())
+	}
+}
+
+func TestFromSubcommunicators(t *testing.T) {
+	m, err := FromSubcommunicators(8, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 3) != 10 || m.At(4, 7) != 10 {
+		t.Error("intra-block volume missing")
+	}
+	if m.At(3, 4) != 0 {
+		t.Error("cross-block volume present")
+	}
+	// 2 blocks × C(4,2) pairs × 10 bytes.
+	if m.Total() != 2*6*10 {
+		t.Errorf("Total = %v", m.Total())
+	}
+	if _, err := FromSubcommunicators(8, 3, 1); err == nil {
+		t.Error("non-dividing block accepted")
+	}
+}
+
+func TestCost(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	m := New(16)
+	m.Add(0, 1, 100) // same socket: cost 1
+	m.Add(0, 4, 10)  // cross socket: cost 2
+	m.Add(0, 8, 1)   // cross node: cost 3
+	identity := make([]int, 16)
+	for i := range identity {
+		identity[i] = i
+	}
+	c, err := Cost(m, h, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 100*1+10*2+1*3 {
+		t.Errorf("Cost = %v, want 123", c)
+	}
+	if _, err := Cost(m, h, identity[:3]); err == nil {
+		t.Error("short placement accepted")
+	}
+}
+
+// Map must put heavily-communicating blocks of ranks into shared domains.
+func TestMapGroupsHeavyPairs(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	// Ranks communicate in 4 blocks of 4 — but the blocks are interleaved:
+	// block k = ranks {k, k+4, k+8, k+12}.
+	m := New(16)
+	for k := 0; k < 4; k++ {
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				m.Add(k+4*a, k+4*b, 100)
+			}
+		}
+	}
+	placement, err := Map(m, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !perm.IsPermutation(placement) {
+		t.Fatalf("placement is not a bijection: %v", placement)
+	}
+	mapped, err := Cost(m, h, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := make([]int, 16)
+	for i := range identity {
+		identity[i] = i
+	}
+	naive, err := Cost(m, h, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped >= naive {
+		t.Errorf("greedy mapping (%v) no better than identity (%v)", mapped, naive)
+	}
+	// Optimal here: every block inside one socket → all pairs cost 1.
+	optimal := 4 * 6 * 100.0
+	if mapped != optimal {
+		t.Errorf("greedy mapping cost %v, want optimal %v", mapped, optimal)
+	}
+}
+
+// BestOrder must pick a packed order for block-communicating workloads and
+// its cost must equal the cost of its own placement.
+func TestBestOrderBlockWorkload(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	m, err := FromSubcommunicators(16, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, cost, err := BestOrder(m, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks of 4 consecutive ranks fit one socket under the identity
+	// ([2,1,0]) or plane ([2,0,1]) orders: all pairs cost 1.
+	want := 4 * 6 * 100.0
+	if cost != want {
+		t.Errorf("best order %v cost %v, want %v", sigma, cost, want)
+	}
+	name := perm.Format(sigma)
+	if name != "2-1-0" && name != "2-0-1" {
+		t.Errorf("best order = %s, want a packed order", name)
+	}
+}
+
+// For an interleaved workload (stride-4 blocks) the cyclic order must win.
+func TestBestOrderCyclicWorkload(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	m := New(16)
+	for k := 0; k < 4; k++ {
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				m.Add(k+4*a, k+4*b, 100)
+			}
+		}
+	}
+	sigma, cost, err := BestOrder(m, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride-4 blocks are exactly what a fully cyclic enumeration packs:
+	// under [0,1,2]-style orders, ranks {k, k+4, k+8, k+12} share a socket.
+	if cost != 4*6*100.0 {
+		t.Errorf("best order %v cost %v, want %v", sigma, cost, 4*6*100.0)
+	}
+}
+
+// The greedy mapper must never lose to the best mixed-radix order by more
+// than 2× on random matrices (it optimizes the same objective with more
+// freedom, but greedily).
+func TestMapVersusBestOrderRandom(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		m := New(16)
+		for i := 0; i < 16; i++ {
+			for j := i + 1; j < 16; j++ {
+				if rng.Float64() < 0.3 {
+					m.Add(i, j, rng.Float64()*100)
+				}
+			}
+		}
+		placement, err := Map(m, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := Cost(m, h, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, orderCost, err := BestOrder(m, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped > 2*orderCost {
+			t.Errorf("trial %d: greedy mapping %v vs best order %v", trial, mapped, orderCost)
+		}
+	}
+}
+
+func TestSizeMismatches(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	m := New(8)
+	if _, err := Map(m, h); err == nil {
+		t.Error("size mismatch accepted by Map")
+	}
+	if _, _, err := BestOrder(m, h); err == nil {
+		t.Error("size mismatch accepted by BestOrder")
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,145 @@
+package heat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/slurm"
+)
+
+func testSpec() netmodel.Spec { return cluster.Hydra(2, 1) }
+
+func ident(n int) []int {
+	b := make([]int, n)
+	for i := range b {
+		b[i] = i
+	}
+	return b
+}
+
+func sampleProblem() Problem {
+	return Problem{NX: 32, NY: 24, Iters: 40, Top: 1, Bottom: 0, Left: 0.5, Right: 0}
+}
+
+func TestSequentialPhysics(t *testing.T) {
+	p := sampleProblem()
+	u := Sequential(p)
+	// Boundary conditions preserved.
+	if u[0][5] != p.Top || u[p.NX-1][5] != p.Bottom || u[5][0] != p.Left {
+		t.Errorf("boundary conditions lost: %v %v %v", u[0][5], u[p.NX-1][5], u[5][0])
+	}
+	// Heat flows from the hot top edge: rows nearer the top are warmer.
+	mid := p.NY / 2
+	if !(u[1][mid] > u[p.NX/2][mid] && u[p.NX/2][mid] > u[p.NX-2][mid]) {
+		t.Errorf("temperature not decreasing away from the hot edge: %v %v %v",
+			u[1][mid], u[p.NX/2][mid], u[p.NX-2][mid])
+	}
+	// Interior values bounded by the boundary extremes.
+	for i := 1; i < p.NX-1; i++ {
+		for j := 1; j < p.NY-1; j++ {
+			if u[i][j] < 0 || u[i][j] > 1 {
+				t.Fatalf("maximum principle violated at (%d,%d): %v", i, j, u[i][j])
+			}
+		}
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	p := sampleProblem()
+	want := Sequential(p)
+	for _, cfg := range []struct {
+		px, py  int
+		reorder bool
+	}{
+		{4, 2, false}, {4, 2, true}, {2, 4, false}, {8, 1, false}, {1, 8, false}, {8, 8, true},
+	} {
+		res, err := Run(testSpec(), ident(cfg.px*cfg.py), cfg.px, cfg.py, p, cfg.reorder, mpi.Config{})
+		if err != nil {
+			t.Fatalf("%d×%d reorder=%v: %v", cfg.px, cfg.py, cfg.reorder, err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if res.Field[i][j] != want[i][j] {
+					t.Fatalf("%d×%d reorder=%v: field[%d][%d] = %v, want %v",
+						cfg.px, cfg.py, cfg.reorder, i, j, res.Field[i][j], want[i][j])
+				}
+			}
+		}
+		if res.Duration <= 0 {
+			t.Errorf("%d×%d: duration %v", cfg.px, cfg.py, res.Duration)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := sampleProblem()
+	if _, err := Run(testSpec(), ident(6), 3, 2, p, false, mpi.Config{}); err == nil {
+		t.Error("non-dividing grid accepted") // 32 % 3 != 0
+	}
+	if _, err := Run(testSpec(), ident(4), 2, 4, p, false, mpi.Config{}); err == nil {
+		t.Error("binding/grid mismatch accepted")
+	}
+	if _, err := Run(testSpec(), ident(1), 1, 1, p, false, mpi.Config{}); err == nil {
+		t.Error("1×1 grid accepted")
+	}
+	thin := Problem{NX: 32, NY: 8, Iters: 2}
+	if _, err := Run(testSpec(), ident(16), 2, 8, thin, false, mpi.Config{}); err == nil {
+		t.Error("1-wide tiles accepted")
+	}
+}
+
+// On a scattered (cyclic) launch, CartCreate's reorder must not be slower,
+// and is expected to be meaningfully faster (the examples/halo effect).
+func TestReorderHelpsOnCyclicBinding(t *testing.T) {
+	h := cluster.HydraHierarchy(2)
+	dist := slurm.Distribution{Node: slurm.Cyclic, Socket: slurm.Cyclic}
+	binding, err := dist.Binding(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{NX: 64, NY: 64, Iters: 10, Top: 1}
+	plain, err := Run(testSpec(), binding, 8, 8, p, false, mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Run(testSpec(), binding, 8, 8, p, true, mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Duration > plain.Duration*1.02 {
+		t.Errorf("reorder slower: %v vs %v", re.Duration, plain.Duration)
+	}
+	// Numerics unchanged by the mapping.
+	for i := range plain.Field {
+		for j := range plain.Field[i] {
+			if plain.Field[i][j] != re.Field[i][j] {
+				t.Fatalf("reorder changed the physics at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSequentialConvergesTowardsSteadyState(t *testing.T) {
+	// More iterations → closer to the steady state (residual shrinks).
+	p := Problem{NX: 16, NY: 16, Iters: 50, Top: 1}
+	qLong := p
+	qLong.Iters = 500
+	short := Sequential(p)
+	long := Sequential(qLong)
+	residual := func(u [][]float64) float64 {
+		var r float64
+		for i := 1; i < p.NX-1; i++ {
+			for j := 1; j < p.NY-1; j++ {
+				d := u[i][j] - 0.25*(u[i-1][j]+u[i+1][j]+u[i][j-1]+u[i][j+1])
+				r += d * d
+			}
+		}
+		return math.Sqrt(r)
+	}
+	if residual(long) >= residual(short) {
+		t.Errorf("residual did not shrink: %v vs %v", residual(long), residual(short))
+	}
+}

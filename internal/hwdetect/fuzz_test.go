@@ -1,0 +1,52 @@
+package hwdetect
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCPUList checks the cpulist parser never panics and returns
+// sorted non-negative CPUs.
+func FuzzParseCPUList(f *testing.F) {
+	for _, seed := range []string{"0-3", "0,5,7-9", "", "3-1", "x", "0-"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 256 {
+			return // bounded: a 100 MB range string would legally explode
+		}
+		cpus, err := ParseCPUList(s)
+		if err != nil {
+			return
+		}
+		for i, c := range cpus {
+			if c < 0 {
+				t.Fatalf("ParseCPUList(%q) returned negative cpu %d", s, c)
+			}
+			if i > 0 && cpus[i-1] > c {
+				t.Fatalf("ParseCPUList(%q) unsorted: %v", s, cpus)
+			}
+		}
+	})
+}
+
+// FuzzParseLstopo checks the lstopo parser never panics and accepted
+// topologies are valid hierarchies.
+func FuzzParseLstopo(f *testing.F) {
+	f.Add("Machine\n  Package L#0\n    Core L#0\n    Core L#1\n  Package L#1\n    Core L#2\n    Core L#3\n")
+	f.Add("Machine\n")
+	f.Add("")
+	f.Add("A\n B\n  C\n  C\n B\n  C\n  C\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 4096 {
+			return
+		}
+		h, err := ParseLstopo(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if h.Depth() == 0 || h.Size() <= 1 {
+			t.Fatalf("ParseLstopo accepted degenerate hierarchy from %q", s)
+		}
+	})
+}

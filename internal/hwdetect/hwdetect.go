@@ -1,0 +1,354 @@
+// Package hwdetect stands in for hwloc (§3.2: "the number of levels in
+// the hierarchy and the size of each level can be gathered with tools such
+// as hwloc"): it derives a topology.Hierarchy for one compute node from
+// machine descriptions —
+//
+//   - FromSysFS reads a Linux-sysfs-shaped file tree
+//     (cpu/cpuN/topology/physical_package_id, cache/index3/shared_cpu_list,
+//     node/nodeN/cpulist), and
+//   - ParseLstopo reads the indented textual rendering produced by
+//     lstopo-like tools.
+//
+// Both enforce the paper's homogeneity constraint: every component of a
+// level must contain the same number of sub-components, or detection
+// fails with a descriptive error.
+package hwdetect
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Levels assembled by detection, outermost first (socket, numa, l3, core
+// as available). The node level itself (count of nodes) is the caller's
+// business — detection sees one node.
+
+// cpuInfo is the location of one logical CPU.
+type cpuInfo struct {
+	cpu     int
+	socket  int
+	numa    int
+	l3Group int // index of its shared-L3 set, -1 when unknown
+}
+
+// FromSysFS builds the node hierarchy from a sysfs-like tree rooted at
+// fsys. Expected layout (a subset of Linux's /sys/devices/system):
+//
+//	cpu/cpu<N>/topology/physical_package_id
+//	cpu/cpu<N>/cache/index3/shared_cpu_list   (optional)
+//	node/node<N>/cpulist                      (optional NUMA description)
+func FromSysFS(fsys fs.FS) (topology.Hierarchy, error) {
+	cpuDirs, err := fs.Glob(fsys, "cpu/cpu[0-9]*")
+	if err != nil {
+		return topology.Hierarchy{}, err
+	}
+	if len(cpuDirs) == 0 {
+		return topology.Hierarchy{}, fmt.Errorf("hwdetect: no cpu/cpuN directories")
+	}
+	infos := make(map[int]*cpuInfo)
+	for _, dir := range cpuDirs {
+		idStr := strings.TrimPrefix(dir, "cpu/cpu")
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			continue // cpufreq etc.
+		}
+		pkg, err := readInt(fsys, dir+"/topology/physical_package_id")
+		if err != nil {
+			return topology.Hierarchy{}, fmt.Errorf("hwdetect: cpu%d: %w", id, err)
+		}
+		info := &cpuInfo{cpu: id, socket: pkg, numa: -1, l3Group: -1}
+		infos[id] = info
+	}
+	// L3 groups from shared_cpu_list (group key: the canonical list).
+	l3Keys := map[string]int{}
+	for id, info := range infos {
+		list, err := readString(fsys, fmt.Sprintf("cpu/cpu%d/cache/index3/shared_cpu_list", id))
+		if err != nil {
+			continue // no L3 description
+		}
+		key := strings.TrimSpace(list)
+		if _, ok := l3Keys[key]; !ok {
+			l3Keys[key] = len(l3Keys)
+		}
+		info.l3Group = l3Keys[key]
+	}
+	// NUMA membership from node/nodeN/cpulist.
+	nodeDirs, _ := fs.Glob(fsys, "node/node[0-9]*")
+	for _, dir := range nodeDirs {
+		numaStr := strings.TrimPrefix(dir, "node/node")
+		numa, err := strconv.Atoi(numaStr)
+		if err != nil {
+			continue
+		}
+		list, err := readString(fsys, dir+"/cpulist")
+		if err != nil {
+			return topology.Hierarchy{}, fmt.Errorf("hwdetect: %s: %w", dir, err)
+		}
+		cpus, err := ParseCPUList(list)
+		if err != nil {
+			return topology.Hierarchy{}, fmt.Errorf("hwdetect: %s: %w", dir, err)
+		}
+		for _, c := range cpus {
+			if info, ok := infos[c]; ok {
+				info.numa = numa
+			}
+		}
+	}
+	return assemble(infos)
+}
+
+// assemble turns per-CPU locations into a uniform hierarchy.
+func assemble(infos map[int]*cpuInfo) (topology.Hierarchy, error) {
+	if len(infos) == 0 {
+		return topology.Hierarchy{}, fmt.Errorf("hwdetect: no CPUs")
+	}
+	haveNuma, haveL3 := false, false
+	for _, in := range infos {
+		if in.numa >= 0 {
+			haveNuma = true
+		}
+		if in.l3Group >= 0 {
+			haveL3 = true
+		}
+	}
+	type key struct{ socket, numa, l3 int }
+	sockets := map[int]bool{}
+	numasPerSocket := map[int]map[int]bool{}
+	l3PerNuma := map[[2]int]map[int]bool{}
+	coresPerLeaf := map[key]int{}
+	for _, in := range infos {
+		sockets[in.socket] = true
+		numa := 0
+		if haveNuma {
+			if in.numa < 0 {
+				return topology.Hierarchy{}, fmt.Errorf("hwdetect: cpu%d has no NUMA node but others do", in.cpu)
+			}
+			numa = in.numa
+		}
+		l3 := 0
+		if haveL3 {
+			if in.l3Group < 0 {
+				return topology.Hierarchy{}, fmt.Errorf("hwdetect: cpu%d has no L3 group but others do", in.cpu)
+			}
+			l3 = in.l3Group
+		}
+		if numasPerSocket[in.socket] == nil {
+			numasPerSocket[in.socket] = map[int]bool{}
+		}
+		numasPerSocket[in.socket][numa] = true
+		nk := [2]int{in.socket, numa}
+		if l3PerNuma[nk] == nil {
+			l3PerNuma[nk] = map[int]bool{}
+		}
+		l3PerNuma[nk][l3] = true
+		coresPerLeaf[key{in.socket, numa, l3}]++
+	}
+	uniform := func(counts []int, what string) (int, error) {
+		if len(counts) == 0 {
+			return 0, fmt.Errorf("hwdetect: no %s", what)
+		}
+		for _, c := range counts[1:] {
+			if c != counts[0] {
+				return 0, fmt.Errorf("hwdetect: heterogeneous %s counts %v (the mixed-radix hierarchy requires homogeneity)", what, counts)
+			}
+		}
+		return counts[0], nil
+	}
+	var numaCounts, l3Counts, coreCounts []int
+	for _, set := range numasPerSocket {
+		numaCounts = append(numaCounts, len(set))
+	}
+	for _, set := range l3PerNuma {
+		l3Counts = append(l3Counts, len(set))
+	}
+	for _, c := range coresPerLeaf {
+		coreCounts = append(coreCounts, c)
+	}
+	nSockets := len(sockets)
+	nNuma, err := uniform(numaCounts, "NUMA-per-socket")
+	if err != nil {
+		return topology.Hierarchy{}, err
+	}
+	nL3, err := uniform(l3Counts, "L3-per-NUMA")
+	if err != nil {
+		return topology.Hierarchy{}, err
+	}
+	nCores, err := uniform(coreCounts, "cores-per-L3")
+	if err != nil {
+		return topology.Hierarchy{}, err
+	}
+	var levels []topology.Level
+	add := func(name string, arity int) {
+		if arity > 1 {
+			levels = append(levels, topology.Level{Name: name, Arity: arity})
+		}
+	}
+	add("socket", nSockets)
+	if haveNuma {
+		add("numa", nNuma)
+	}
+	if haveL3 {
+		add("l3", nL3)
+	}
+	add("core", nCores)
+	if len(levels) == 0 {
+		return topology.Hierarchy{}, fmt.Errorf("hwdetect: degenerate single-core machine")
+	}
+	return topology.NewNamed(levels...)
+}
+
+// ParseCPUList parses a Linux cpulist like "0-3,8,10-11".
+func ParseCPUList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(strings.TrimSpace(s), ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a > b || a < 0 {
+				return nil, fmt.Errorf("hwdetect: bad cpu range %q", part)
+			}
+			for c := a; c <= b; c++ {
+				out = append(out, c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("hwdetect: bad cpu %q", part)
+		}
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func readString(fsys fs.FS, path string) (string, error) {
+	b, err := fs.ReadFile(fsys, path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func readInt(fsys fs.FS, path string) (int, error) {
+	s, err := readString(fsys, path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(s))
+}
+
+// ParseLstopo reads an indented topology rendering such as
+//
+//	Machine
+//	  Package L#0
+//	    NUMANode L#0
+//	      L3 L#0
+//	        Core L#0
+//	        Core L#1
+//
+// and returns the hierarchy of arities per object type. Indentation must
+// be consistent (spaces); object names before " L#" label the levels.
+func ParseLstopo(r io.Reader) (topology.Hierarchy, error) {
+	type node struct {
+		kind     string
+		depth    int
+		children map[string]int
+	}
+	var stack []*node
+	var root *node
+	all := []*node{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimLeft(raw, " ")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		depth := len(raw) - len(line)
+		kind, _, _ := strings.Cut(strings.TrimSpace(line), " ")
+		n := &node{kind: kind, depth: depth, children: map[string]int{}}
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			if root != nil {
+				return topology.Hierarchy{}, fmt.Errorf("hwdetect: line %d: multiple roots", lineNo)
+			}
+			root = n
+		} else {
+			parent := stack[len(stack)-1]
+			parent.children[kind]++
+		}
+		stack = append(stack, n)
+		all = append(all, n)
+	}
+	if err := sc.Err(); err != nil {
+		return topology.Hierarchy{}, err
+	}
+	if root == nil {
+		return topology.Hierarchy{}, fmt.Errorf("hwdetect: empty topology")
+	}
+	// Per object kind, the child kind and count must be uniform.
+	kindChild := map[string]string{}
+	kindCount := map[string]int{}
+	for _, n := range all {
+		if len(n.children) == 0 {
+			continue
+		}
+		if len(n.children) > 1 {
+			return topology.Hierarchy{}, fmt.Errorf("hwdetect: %s has mixed child kinds %v", n.kind, n.children)
+		}
+		for child, count := range n.children {
+			if child == n.kind {
+				return topology.Hierarchy{}, fmt.Errorf("hwdetect: %s nested inside %s is not expressible as a uniform hierarchy", child, n.kind)
+			}
+			if prev, ok := kindChild[n.kind]; ok {
+				if prev != child || kindCount[n.kind] != count {
+					return topology.Hierarchy{}, fmt.Errorf("hwdetect: heterogeneous %s contents (%d×%s vs %d×%s)",
+						n.kind, kindCount[n.kind], prev, count, child)
+				}
+			} else {
+				kindChild[n.kind] = child
+				kindCount[n.kind] = count
+			}
+		}
+	}
+	var levels []topology.Level
+	kind := root.kind
+	visited := map[string]bool{}
+	for {
+		if visited[kind] {
+			return topology.Hierarchy{}, fmt.Errorf("hwdetect: cyclic containment at %s", kind)
+		}
+		visited[kind] = true
+		child, ok := kindChild[kind]
+		if !ok {
+			break
+		}
+		if kindCount[kind] > 1 {
+			levels = append(levels, topology.Level{
+				Name:  strings.ToLower(child),
+				Arity: kindCount[kind],
+			})
+		}
+		kind = child
+	}
+	if len(levels) == 0 {
+		return topology.Hierarchy{}, fmt.Errorf("hwdetect: no multi-child levels found")
+	}
+	return topology.NewNamed(levels...)
+}

@@ -1,0 +1,217 @@
+package hwdetect
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+// lumiSysFS builds a sysfs-shaped tree for a LUMI-like node:
+// 2 sockets × 4 NUMA × 2 L3 × 8 cores = 128 CPUs.
+func lumiSysFS() fstest.MapFS {
+	fsys := fstest.MapFS{}
+	cpu := 0
+	numaID := 0
+	l3ID := 0
+	for socket := 0; socket < 2; socket++ {
+		for numa := 0; numa < 4; numa++ {
+			numaCPUs := []string{}
+			for l3 := 0; l3 < 2; l3++ {
+				lo, hi := cpu, cpu+7
+				shared := fmt.Sprintf("%d-%d", lo, hi)
+				for c := 0; c < 8; c++ {
+					base := fmt.Sprintf("cpu/cpu%d", cpu)
+					fsys[base+"/topology/physical_package_id"] = &fstest.MapFile{
+						Data: []byte(fmt.Sprintf("%d\n", socket)),
+					}
+					fsys[base+"/cache/index3/shared_cpu_list"] = &fstest.MapFile{
+						Data: []byte(shared + "\n"),
+					}
+					cpu++
+				}
+				numaCPUs = append(numaCPUs, fmt.Sprintf("%d-%d", lo, hi))
+				l3ID++
+			}
+			fsys[fmt.Sprintf("node/node%d/cpulist", numaID)] = &fstest.MapFile{
+				Data: []byte(strings.Join(numaCPUs, ",") + "\n"),
+			}
+			numaID++
+		}
+	}
+	return fsys
+}
+
+func TestFromSysFSLUMI(t *testing.T) {
+	h, err := FromSysFS(lumiSysFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.Arities(), []int{2, 4, 2, 8}) {
+		t.Errorf("arities = %v, want [2 4 2 8]", h.Arities())
+	}
+	if !reflect.DeepEqual(h.Names(), []string{"socket", "numa", "l3", "core"}) {
+		t.Errorf("names = %v", h.Names())
+	}
+}
+
+func TestFromSysFSNoL3NoNuma(t *testing.T) {
+	fsys := fstest.MapFS{}
+	for cpu := 0; cpu < 8; cpu++ {
+		fsys[fmt.Sprintf("cpu/cpu%d/topology/physical_package_id", cpu)] = &fstest.MapFile{
+			Data: []byte(fmt.Sprintf("%d\n", cpu/4)),
+		}
+	}
+	h, err := FromSysFS(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.Arities(), []int{2, 4}) {
+		t.Errorf("arities = %v, want [2 4]", h.Arities())
+	}
+}
+
+func TestFromSysFSHeterogeneousRejected(t *testing.T) {
+	fsys := fstest.MapFS{}
+	// Socket 0 has 4 cores, socket 1 has 2: not expressible.
+	for cpu := 0; cpu < 6; cpu++ {
+		pkg := 0
+		if cpu >= 4 {
+			pkg = 1
+		}
+		fsys[fmt.Sprintf("cpu/cpu%d/topology/physical_package_id", cpu)] = &fstest.MapFile{
+			Data: []byte(fmt.Sprintf("%d\n", pkg)),
+		}
+	}
+	if _, err := FromSysFS(fsys); err == nil {
+		t.Error("heterogeneous machine accepted")
+	}
+}
+
+func TestFromSysFSEmpty(t *testing.T) {
+	if _, err := FromSysFS(fstest.MapFS{}); err == nil {
+		t.Error("empty sysfs accepted")
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0-1,8,10-11", []int{0, 1, 8, 10, 11}},
+		{"5", []int{5}},
+		{" 2-3 ,7 \n", []int{2, 3, 7}},
+	}
+	for _, c := range cases {
+		got, err := ParseCPUList(c.in)
+		if err != nil {
+			t.Errorf("ParseCPUList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"3-1", "x", "-1", "1-"} {
+		if _, err := ParseCPUList(bad); err == nil {
+			t.Errorf("ParseCPUList(%q) should fail", bad)
+		}
+	}
+}
+
+const hydraLstopo = `Machine
+  Package L#0
+    Group L#0
+      Core L#0
+      Core L#1
+      Core L#2
+      Core L#3
+      Core L#4
+      Core L#5
+      Core L#6
+      Core L#7
+    Group L#1
+      Core L#8
+      Core L#9
+      Core L#10
+      Core L#11
+      Core L#12
+      Core L#13
+      Core L#14
+      Core L#15
+  Package L#1
+    Group L#2
+      Core L#16
+      Core L#17
+      Core L#18
+      Core L#19
+      Core L#20
+      Core L#21
+      Core L#22
+      Core L#23
+    Group L#3
+      Core L#24
+      Core L#25
+      Core L#26
+      Core L#27
+      Core L#28
+      Core L#29
+      Core L#30
+      Core L#31
+`
+
+func TestParseLstopoHydra(t *testing.T) {
+	h, err := ParseLstopo(strings.NewReader(hydraLstopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.Arities(), []int{2, 2, 8}) {
+		t.Errorf("arities = %v, want [2 2 8]", h.Arities())
+	}
+	if !reflect.DeepEqual(h.Names(), []string{"package", "group", "core"}) {
+		t.Errorf("names = %v", h.Names())
+	}
+}
+
+func TestParseLstopoHeterogeneous(t *testing.T) {
+	bad := `Machine
+  Package L#0
+    Core L#0
+    Core L#1
+  Package L#1
+    Core L#2
+`
+	if _, err := ParseLstopo(strings.NewReader(bad)); err == nil {
+		t.Error("heterogeneous lstopo accepted")
+	}
+}
+
+func TestParseLstopoMixedChildren(t *testing.T) {
+	bad := `Machine
+  Package L#0
+    NUMANode L#0
+    Core L#0
+`
+	if _, err := ParseLstopo(strings.NewReader(bad)); err == nil {
+		t.Error("mixed child kinds accepted")
+	}
+}
+
+func TestParseLstopoEmpty(t *testing.T) {
+	if _, err := ParseLstopo(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ParseLstopo(strings.NewReader("Machine\n")); err == nil {
+		t.Error("leaf-only machine accepted")
+	}
+}
+
+func TestParseLstopoMultipleRoots(t *testing.T) {
+	bad := "Machine\nMachine\n"
+	if _, err := ParseLstopo(strings.NewReader(bad)); err == nil {
+		t.Error("two roots accepted")
+	}
+}

@@ -1,0 +1,259 @@
+// Package mixedradix implements the paper's core contribution: mixed-radix
+// decomposition of ranks over a machine hierarchy, and re-composition under
+// a permutation of hierarchy levels (an "order").
+//
+// A hierarchy h = ⟦h₀, h₁, …, h_{k-1}⟧ lists, from the outermost level
+// inwards, how many children each component of a level has: for example
+// ⟦2, 2, 4⟧ is 2 nodes × 2 sockets × 4 cores (Figure 1 of the paper).
+//
+// Decompose is the paper's Algorithm 1: it maps a rank to its coordinates
+// in the multi-dimensional space spanned by the hierarchy, with c[0] the
+// outermost (most significant) coordinate. Compose is Algorithm 2: given
+// coordinates and an order σ, it produces the reordered rank
+//
+//	r = c_{σ(0)} + Σ_{i≥1} c_{σ(i)} · Π_{j<i} h_{σ(j)}
+//
+// so σ(0) names the level that varies fastest in the new enumeration.
+// The order [k-1, …, 0] reproduces the original enumeration.
+package mixedradix
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// ErrBadHierarchy reports an invalid hierarchy description.
+var ErrBadHierarchy = errors.New("mixedradix: invalid hierarchy")
+
+// ErrRankRange reports a rank outside [0, Size(h)).
+var ErrRankRange = errors.New("mixedradix: rank out of range")
+
+// CheckHierarchy verifies that every radix is strictly greater than 1, as
+// required by the mixed-radix numeral system (§3.1), and that the hierarchy
+// is non-empty.
+func CheckHierarchy(h []int) error {
+	if len(h) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadHierarchy)
+	}
+	for i, v := range h {
+		if v <= 1 {
+			return fmt.Errorf("%w: level %d has size %d, want > 1", ErrBadHierarchy, i, v)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of ranks the hierarchy enumerates: the product of
+// all level sizes. It panics on overflow.
+func Size(h []int) int {
+	n := 1
+	for _, v := range h {
+		if v != 0 && n > int(^uint(0)>>1)/v {
+			panic("mixedradix: hierarchy size overflows int")
+		}
+		n *= v
+	}
+	return n
+}
+
+// Decompose implements Algorithm 1: it returns the coordinates c of rank r
+// in hierarchy h, where c[i] ∈ [0, h[i]) and c[0] is the outermost level.
+// Decompose panics if r is outside [0, Size(h)); use DecomposeChecked for
+// an error-returning variant.
+func Decompose(h []int, r int) []int {
+	c := make([]int, len(h))
+	DecomposeInto(h, r, c)
+	return c
+}
+
+// DecomposeInto is Decompose writing into a caller-provided slice of
+// length len(h), avoiding an allocation in hot loops.
+func DecomposeInto(h []int, r int, c []int) {
+	if len(c) != len(h) {
+		panic("mixedradix: DecomposeInto destination length mismatch")
+	}
+	if r < 0 || r >= Size(h) {
+		panic(fmt.Sprintf("mixedradix: rank %d out of range [0, %d)", r, Size(h)))
+	}
+	for i := len(h) - 1; i >= 0; i-- {
+		c[i] = r % h[i]
+		r /= h[i]
+	}
+}
+
+// DecomposeChecked is Decompose with validation errors instead of panics.
+func DecomposeChecked(h []int, r int) ([]int, error) {
+	if err := CheckHierarchy(h); err != nil {
+		return nil, err
+	}
+	if r < 0 || r >= Size(h) {
+		return nil, fmt.Errorf("%w: rank %d, hierarchy size %d", ErrRankRange, r, Size(h))
+	}
+	return Decompose(h, r), nil
+}
+
+// Compose implements Algorithm 2: it computes the reordered rank of the
+// coordinates c under the order sigma. Both slices must have the hierarchy's
+// length and sigma must be a permutation of [0, len(h)).
+func Compose(h, c, sigma []int) int {
+	if len(c) != len(h) || len(sigma) != len(h) {
+		panic("mixedradix: Compose length mismatch")
+	}
+	r := 0
+	f := 1
+	for i := 0; i < len(h); i++ {
+		r += c[sigma[i]] * f
+		f *= h[sigma[i]]
+	}
+	return r
+}
+
+// ComposeChecked is Compose with validation errors instead of panics.
+func ComposeChecked(h, c, sigma []int) (int, error) {
+	if err := CheckHierarchy(h); err != nil {
+		return 0, err
+	}
+	if len(c) != len(h) {
+		return 0, fmt.Errorf("%w: %d coordinates for %d levels", ErrBadHierarchy, len(c), len(h))
+	}
+	for i, v := range c {
+		if v < 0 || v >= h[i] {
+			return 0, fmt.Errorf("%w: coordinate %d is %d, want [0, %d)", ErrRankRange, i, v, h[i])
+		}
+	}
+	if err := perm.Check(sigma); err != nil {
+		return 0, err
+	}
+	if len(sigma) != len(h) {
+		return 0, fmt.Errorf("%w: order has %d levels, hierarchy has %d", ErrBadHierarchy, len(sigma), len(h))
+	}
+	return Compose(h, c, sigma), nil
+}
+
+// NewRank applies Algorithm 1 followed by Algorithm 2: the reordered rank of
+// r in hierarchy h under order sigma. This is the ComputeNewRank step used
+// by Algorithm 3 (§3.4).
+func NewRank(h []int, r int, sigma []int) int {
+	c := make([]int, len(h))
+	DecomposeInto(h, r, c)
+	return Compose(h, c, sigma)
+}
+
+// Reorderer precomputes state for repeated NewRank calls on one
+// (hierarchy, order) pair. It is not safe for concurrent use.
+type Reorderer struct {
+	h     []int
+	sigma []int
+	c     []int // scratch coordinates
+}
+
+// NewReorderer validates its inputs and returns a Reorderer.
+func NewReorderer(h, sigma []int) (*Reorderer, error) {
+	if err := CheckHierarchy(h); err != nil {
+		return nil, err
+	}
+	if err := perm.Check(sigma); err != nil {
+		return nil, err
+	}
+	if len(sigma) != len(h) {
+		return nil, fmt.Errorf("%w: order has %d levels, hierarchy has %d", ErrBadHierarchy, len(sigma), len(h))
+	}
+	return &Reorderer{
+		h:     append([]int(nil), h...),
+		sigma: append([]int(nil), sigma...),
+		c:     make([]int, len(h)),
+	}, nil
+}
+
+// Hierarchy returns a copy of the reorderer's hierarchy.
+func (ro *Reorderer) Hierarchy() []int { return append([]int(nil), ro.h...) }
+
+// Order returns a copy of the reorderer's order.
+func (ro *Reorderer) Order() []int { return append([]int(nil), ro.sigma...) }
+
+// Size returns the number of ranks enumerated.
+func (ro *Reorderer) Size() int { return Size(ro.h) }
+
+// NewRank returns the reordered rank of r.
+func (ro *Reorderer) NewRank(r int) int {
+	DecomposeInto(ro.h, r, ro.c)
+	return Compose(ro.h, ro.c, ro.sigma)
+}
+
+// Table returns the full mapping t with t[old] = new for every rank. The
+// result is always a permutation of [0, Size(h)) (see TestReorderBijection).
+func (ro *Reorderer) Table() []int {
+	n := ro.Size()
+	t := make([]int, n)
+	for r := 0; r < n; r++ {
+		t[r] = ro.NewRank(r)
+	}
+	return t
+}
+
+// InverseTable returns inv with inv[new] = old: for each reordered rank,
+// the original rank (hence the original core) it is placed on. This is the
+// rankfile view of the mapping.
+func (ro *Reorderer) InverseTable() []int {
+	t := ro.Table()
+	inv := make([]int, len(t))
+	for old, nw := range t {
+		inv[nw] = old
+	}
+	return inv
+}
+
+// ReorderAll is a convenience wrapper returning Table for (h, sigma).
+func ReorderAll(h, sigma []int) ([]int, error) {
+	ro, err := NewReorderer(h, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return ro.Table(), nil
+}
+
+// PermutedHierarchy returns [h_{σ(0)}, h_{σ(1)}, …]: the "permuted
+// hierarchy" column of Table 1, pairing position-by-position with
+// PermutedCoordinates (position 0 is the fastest-varying level of the new
+// enumeration).
+func PermutedHierarchy(h, sigma []int) []int {
+	return perm.Apply(sigma, h)
+}
+
+// PermutedCoordinates returns [c_{σ(0)}, c_{σ(1)}, …]: the "permuted
+// coordinates" column of Table 1.
+func PermutedCoordinates(c, sigma []int) []int {
+	return perm.Apply(sigma, c)
+}
+
+// IdentityOrder returns the order that leaves the enumeration unchanged,
+// [k-1, …, 0] (Figure 2f): Algorithm 2 with this order inverts Algorithm 1.
+func IdentityOrder(k int) []int { return perm.Reversed(k) }
+
+// ReorderedHierarchy returns the hierarchy of the new enumeration produced
+// by sigma, listed outermost (most significant) level first like h itself:
+// element j is h[sigma[k-1-j]]. Decomposing a reordered rank against this
+// hierarchy yields its coordinates in the new enumeration.
+func ReorderedHierarchy(h, sigma []int) []int {
+	k := len(h)
+	out := make([]int, k)
+	for j := 0; j < k; j++ {
+		out[j] = h[sigma[k-1-j]]
+	}
+	return out
+}
+
+// UndoOrder returns the order τ that inverts a reordering: reordering h by
+// sigma and then reordering ReorderedHierarchy(h, sigma) by τ restores every
+// original rank. τ(i) = k-1-σ⁻¹(k-1-i).
+func UndoOrder(sigma []int) []int {
+	k := len(sigma)
+	inv := perm.Inverse(sigma)
+	tau := make([]int, k)
+	for i := 0; i < k; i++ {
+		tau[i] = k - 1 - inv[k-1-i]
+	}
+	return tau
+}

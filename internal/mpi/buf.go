@@ -1,0 +1,156 @@
+// Buffers carried by simulated messages. A Buf either carries real float64
+// payload (applications like the CPD and CG solvers) or only a byte count
+// (micro-benchmarks), so collective algorithms are written once and serve
+// both the numeric and the synthetic workloads.
+
+package mpi
+
+import "fmt"
+
+// Buf is a message payload: a byte count and, optionally, real data. When
+// Data is non-nil, Bytes must equal 8·len(Data).
+type Buf struct {
+	Bytes int64
+	Data  []float64
+}
+
+// BytesBuf returns a synthetic payload of n bytes.
+func BytesBuf(n int64) Buf {
+	if n < 0 {
+		panic("mpi: negative buffer size")
+	}
+	return Buf{Bytes: n}
+}
+
+// F64Buf returns a payload carrying real float64 data.
+func F64Buf(data []float64) Buf {
+	return Buf{Bytes: int64(len(data)) * 8, Data: data}
+}
+
+// IsData reports whether the buffer carries real payload.
+func (b Buf) IsData() bool { return b.Data != nil }
+
+// check panics on an internally inconsistent buffer.
+func (b Buf) check() {
+	if b.Data != nil && b.Bytes != int64(len(b.Data))*8 {
+		panic(fmt.Sprintf("mpi: inconsistent Buf: %d bytes, %d elements", b.Bytes, len(b.Data)))
+	}
+	if b.Bytes < 0 {
+		panic("mpi: negative Buf size")
+	}
+}
+
+// Clone returns a deep copy (messages must not alias sender memory).
+func (b Buf) Clone() Buf {
+	if b.Data == nil {
+		return b
+	}
+	d := make([]float64, len(b.Data))
+	copy(d, b.Data)
+	return Buf{Bytes: b.Bytes, Data: d}
+}
+
+// Concat appends the payloads in order.
+func Concat(bufs ...Buf) Buf {
+	var total int64
+	data := true
+	n := 0
+	for _, b := range bufs {
+		b.check()
+		total += b.Bytes
+		if b.Data == nil && b.Bytes > 0 {
+			data = false
+		}
+		n += len(b.Data)
+	}
+	if !data {
+		return Buf{Bytes: total}
+	}
+	out := make([]float64, 0, n)
+	for _, b := range bufs {
+		out = append(out, b.Data...)
+	}
+	return Buf{Bytes: total, Data: out}
+}
+
+// SplitEven cuts the buffer into parts nearly equal chunks: the first
+// Bytes%parts·… — precisely, chunk sizes follow the MPI block distribution
+// of len(Data) (or Bytes/8 synthetic elements) over parts. It panics if the
+// element count is not divisible when exactness is required by callers;
+// uneven tails go to the last chunk only when allowUneven.
+func (b Buf) SplitEven(parts int) []Buf {
+	b.check()
+	if parts <= 0 {
+		panic("mpi: SplitEven with no parts")
+	}
+	out := make([]Buf, parts)
+	if b.Data != nil {
+		n := len(b.Data)
+		for i := 0; i < parts; i++ {
+			lo, hi := n*i/parts, n*(i+1)/parts
+			out[i] = F64Buf(b.Data[lo:hi])
+		}
+		return out
+	}
+	// Synthetic: distribute bytes in the same block pattern.
+	for i := 0; i < parts; i++ {
+		lo := b.Bytes * int64(i) / int64(parts)
+		hi := b.Bytes * int64(i+1) / int64(parts)
+		out[i] = BytesBuf(hi - lo)
+	}
+	return out
+}
+
+// ReduceOp combines two equal-length payloads elementwise.
+type ReduceOp int
+
+// Supported reduction operations.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", int(op))
+}
+
+// Combine applies the reduction to two buffers of equal size. Synthetic
+// buffers combine into a synthetic buffer of the same size; mixing a data
+// and a synthetic buffer yields a synthetic buffer.
+func Combine(op ReduceOp, a, b Buf) Buf {
+	a.check()
+	b.check()
+	if a.Bytes != b.Bytes {
+		panic(fmt.Sprintf("mpi: Combine size mismatch: %d vs %d bytes", a.Bytes, b.Bytes))
+	}
+	if a.Data == nil || b.Data == nil {
+		return Buf{Bytes: a.Bytes}
+	}
+	out := make([]float64, len(a.Data))
+	switch op {
+	case OpSum:
+		for i := range out {
+			out[i] = a.Data[i] + b.Data[i]
+		}
+	case OpMax:
+		for i := range out {
+			out[i] = max(a.Data[i], b.Data[i])
+		}
+	case OpMin:
+		for i := range out {
+			out[i] = min(a.Data[i], b.Data[i])
+		}
+	default:
+		panic("mpi: unknown reduce op")
+	}
+	return F64Buf(out)
+}

@@ -1,0 +1,197 @@
+// Cartesian virtual topologies (MPI_Cart_create and friends). The paper's
+// related work (§2) recalls that "Cartesian topologies … define
+// communication relationships between processes. When creating such
+// virtual topologies, it is possible to request a rank reordering to
+// better match the system topology." Here the requested reordering is the
+// paper's own technique: the Cartesian dimensions become the mixed-radix
+// base and the machine hierarchy guides which grid dimension varies
+// fastest, so grid neighbours land close in the hierarchy.
+
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/mixedradix"
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+// CartComm is a communicator with Cartesian topology information.
+type CartComm struct {
+	*Comm
+	dims     []int
+	periodic []bool
+}
+
+// CartCreate builds a Cartesian grid over the communicator like
+// MPI_Cart_create. dims must multiply to the communicator size. With
+// reorder=false ranks keep their order (row-major grid). With
+// reorder=true, the grid is renumbered with the mixed-radix order that
+// minimizes the total §3.3 crossing cost of all grid-neighbour pairs over
+// the machine hierarchy — the "reordering to better match the system
+// topology" the MPI standard allows.
+func (c *Comm) CartCreate(r *Rank, dims []int, periodic []bool, reorder bool) (*CartComm, error) {
+	p := len(c.group)
+	if err := mixedradix.CheckHierarchy(dims); err != nil {
+		return nil, fmt.Errorf("mpi: CartCreate dims: %w", err)
+	}
+	if mixedradix.Size(dims) != p {
+		return nil, fmt.Errorf("mpi: Cartesian grid %v needs %d ranks, communicator has %d",
+			dims, mixedradix.Size(dims), p)
+	}
+	if periodic == nil {
+		periodic = make([]bool, len(dims))
+	}
+	if len(periodic) != len(dims) {
+		return nil, fmt.Errorf("mpi: %d periodicity flags for %d dims", len(periodic), len(dims))
+	}
+	key := c.rank
+	if reorder {
+		sigma := bestCartOrder(c.w.platform.Hierarchy(), c, dims, periodic)
+		key = mixedradix.NewRank(dims, c.rank, sigma)
+	}
+	sub := c.Split(r, 0, key)
+	return &CartComm{
+		Comm:     sub,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}, nil
+}
+
+// bestCartOrder scores every order of the grid dims by the total hierarchy
+// crossing cost of all grid-neighbour pairs (the halo-exchange traffic of
+// the topology) and returns the cheapest. All ranks compute the same
+// deterministic answer.
+func bestCartOrder(h topology.Hierarchy, c *Comm, dims []int, periodic []bool) []int {
+	// Placement of comm rank i: the core of its world rank.
+	cores := make([]int, len(c.group))
+	for i, w := range c.group {
+		cores[i] = c.w.binding[w]
+	}
+	best := mixedradix.IdentityOrder(len(dims))
+	bestCost := -1
+	for _, sigma := range perm.All(len(dims)) {
+		// Under sigma, grid position g (row-major index i) is held by the
+		// comm rank whose reordered key equals i.
+		place := make([]int, len(cores))
+		for old, core := range cores {
+			place[mixedradix.NewRank(dims, old, sigma)] = core
+		}
+		cost := gridNeighborCost(h, dims, periodic, place)
+		if bestCost < 0 || cost < bestCost {
+			bestCost = cost
+			best = sigma
+		}
+	}
+	return best
+}
+
+// gridNeighborCost sums the §3.3 crossing cost over every +1 grid
+// neighbour pair in every dimension (wrapping on periodic dimensions).
+func gridNeighborCost(h topology.Hierarchy, dims []int, periodic []bool, place []int) int {
+	k := len(dims)
+	coords := make([]int, k)
+	total := 0
+	for i := range place {
+		mixedradix.DecomposeInto(dims, i, coords)
+		for d := 0; d < k; d++ {
+			orig := coords[d]
+			coords[d]++
+			if coords[d] == dims[d] {
+				if !periodic[d] {
+					coords[d] = orig
+					continue
+				}
+				coords[d] = 0
+			}
+			j := mixedradix.Compose(dims, coords, mixedradix.IdentityOrder(k))
+			total += h.CrossCost(place[i], place[j])
+			coords[d] = orig
+		}
+	}
+	return total
+}
+
+// Dims returns the grid dimensions.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Coords returns the Cartesian coordinates of a comm rank (row-major,
+// dimension 0 outermost — MPI_Cart_coords).
+func (cc *CartComm) Coords(rank int) []int {
+	return mixedradix.Decompose(cc.dims, rank)
+}
+
+// CartRank is the inverse of Coords (MPI_Cart_rank). Out-of-range
+// coordinates wrap on periodic dimensions and return an error otherwise.
+func (cc *CartComm) CartRank(coords []int) (int, error) {
+	if len(coords) != len(cc.dims) {
+		return 0, fmt.Errorf("mpi: %d coordinates for %d dims", len(coords), len(cc.dims))
+	}
+	fixed := make([]int, len(coords))
+	for d, v := range coords {
+		switch {
+		case v >= 0 && v < cc.dims[d]:
+			fixed[d] = v
+		case cc.periodic[d]:
+			fixed[d] = ((v % cc.dims[d]) + cc.dims[d]) % cc.dims[d]
+		default:
+			return 0, fmt.Errorf("mpi: coordinate %d out of range on non-periodic dim %d", v, d)
+		}
+	}
+	return mixedradix.Compose(cc.dims, fixed, mixedradix.IdentityOrder(len(cc.dims))), nil
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// a dimension (MPI_Cart_shift). Ranks are -1 beyond the boundary of a
+// non-periodic dimension.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int) {
+	coords := cc.Coords(cc.Rank())
+	to := append([]int(nil), coords...)
+	to[dim] += disp
+	from := append([]int(nil), coords...)
+	from[dim] -= disp
+	dst = -1
+	if rank, err := cc.CartRank(to); err == nil {
+		dst = rank
+	}
+	src = -1
+	if rank, err := cc.CartRank(from); err == nil {
+		src = rank
+	}
+	return src, dst
+}
+
+// NeighborExchange sends buf to the +1 neighbour and receives from the -1
+// neighbour along the dimension (one halo-exchange half-step); it returns
+// the received payload and true, or false at a non-periodic boundary with
+// no source. Ranks with a destination but no source (and vice versa) still
+// progress.
+func (cc *CartComm) NeighborExchange(r *Rank, dim int, buf Buf) (Buf, bool) {
+	return cc.NeighborExchangeDisp(r, dim, 1, buf)
+}
+
+// NeighborExchangeDisp is NeighborExchange with an arbitrary displacement:
+// it sends buf to the +disp neighbour and receives from the -disp one.
+// A full halo swap along a dimension is two calls, disp=+1 and disp=-1.
+func (cc *CartComm) NeighborExchangeDisp(r *Rank, dim, disp int, buf Buf) (Buf, bool) {
+	src, dst := cc.Shift(dim, disp)
+	tag := cc.tag(cc.nextSeq(), int64(dim))
+	var rr, sr *Request
+	if src >= 0 {
+		rr = cc.irecvTag(src, tag)
+	}
+	if dst >= 0 {
+		sr = cc.isendTag(dst, tag, buf)
+	}
+	var got Buf
+	ok := false
+	if rr != nil {
+		got = rr.Wait(r)
+		ok = true
+	}
+	if sr != nil {
+		sr.Wait(r)
+	}
+	return got, ok
+}

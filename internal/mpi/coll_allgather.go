@@ -1,0 +1,144 @@
+// Allgather: ring (neighbour exchanges, whose cost tracks the paper's ring
+// cost metric directly), recursive doubling for power-of-two groups, and a
+// linear fallback. Figure 7 of the paper shows Allgather's sensitivity to
+// the rank order inside communicators — that sensitivity comes from these
+// neighbour-structured schedules.
+
+package mpi
+
+import "fmt"
+
+// allgatherRDThreshold is the total gathered size (communicator size ×
+// per-rank contribution) up to which recursive doubling is preferred on
+// power-of-two communicators. The threshold is on the total because the
+// last doubling round ships half of the full gathered buffer across the
+// communicator's bisection — for large totals the ring's pipelined
+// neighbour traffic is far cheaper.
+const allgatherRDThreshold = 128 * 1024
+
+// Allgather distributes every rank's buffer to all ranks; recv[i] is the
+// contribution of comm rank i.
+func (c *Comm) Allgather(r *Rank, mine Buf) []Buf {
+	mine.check()
+	p := len(c.group)
+	seq := c.nextSeq()
+	start := r.Now()
+	alg := c.w.cfg.ForceAllgather
+	if alg == "" {
+		if p&(p-1) == 0 && p > 1 && int64(p)*mine.Bytes <= allgatherRDThreshold {
+			alg = "rdoubling"
+		} else {
+			alg = "ring"
+		}
+	}
+	var recv []Buf
+	switch alg {
+	case "ring":
+		recv = c.allgatherRing(r, seq, mine)
+	case "rdoubling":
+		recv = c.allgatherRecDoubling(r, seq, mine)
+	case "linear":
+		recv = c.allgatherLinear(r, seq, mine)
+	default:
+		panic(fmt.Sprintf("mpi: unknown allgather algorithm %q", alg))
+	}
+	c.trace(r, "Allgather", mine.Bytes, start)
+	return recv
+}
+
+// allgatherRing passes blocks around the ring for p-1 rounds: in round t
+// the caller sends block (rank-t)%p to rank+1 and receives block
+// (rank-t-1)%p from rank-1.
+func (c *Comm) allgatherRing(r *Rank, seq int64, mine Buf) []Buf {
+	p := len(c.group)
+	me := c.rank
+	recv := make([]Buf, p)
+	recv[me] = mine.Clone()
+	next := (me + 1) % p
+	prev := (me - 1 + p) % p
+	for t := 0; t < p-1; t++ {
+		sendIdx := (me - t + p*p) % p
+		recvIdx := (me - t - 1 + p*p) % p
+		tg := c.tag(seq, int64(t))
+		rr := c.irecvTag(prev, tg)
+		sr := c.isendTag(next, tg, recv[sendIdx])
+		recv[recvIdx] = rr.Wait(r)
+		sr.Wait(r)
+	}
+	return recv
+}
+
+// allgatherRecDoubling exchanges doubling block sets with rank^2^j; p must
+// be a power of two.
+func (c *Comm) allgatherRecDoubling(r *Rank, seq int64, mine Buf) []Buf {
+	p := len(c.group)
+	if p&(p-1) != 0 {
+		panic("mpi: recursive-doubling allgather requires a power-of-two communicator")
+	}
+	me := c.rank
+	recv := make([]Buf, p)
+	recv[me] = mine.Clone()
+	owned := []int{me}
+	round := int64(0)
+	for k := 1; k < p; k <<= 1 {
+		peer := me ^ k
+		// Send every block currently held, ascending block index.
+		parts := make([]Buf, len(owned))
+		sortInts(owned)
+		for j, i := range owned {
+			parts[j] = recv[i]
+		}
+		tg := c.tag(seq, round)
+		rr := c.irecvTag(peer, tg)
+		sr := c.isendTag(peer, tg, Concat(parts...))
+		in := rr.Wait(r)
+		sr.Wait(r)
+		// The peer held exactly our indices XOR k.
+		peerIdx := make([]int, len(owned))
+		for j, i := range owned {
+			peerIdx[j] = i ^ k
+		}
+		sortInts(peerIdx)
+		inParts := in.SplitEven(len(peerIdx))
+		for j, i := range peerIdx {
+			recv[i] = inParts[j].Clone()
+		}
+		owned = append(owned, peerIdx...)
+		round++
+	}
+	return recv
+}
+
+// allgatherLinear has every rank send its block directly to every other.
+func (c *Comm) allgatherLinear(r *Rank, seq int64, mine Buf) []Buf {
+	p := len(c.group)
+	me := c.rank
+	recv := make([]Buf, p)
+	recv[me] = mine.Clone()
+	rreqs := make([]*Request, 0, p-1)
+	srcs := make([]int, 0, p-1)
+	for k := 1; k < p; k++ {
+		src := (me - k + p) % p
+		rreqs = append(rreqs, c.irecvTag(src, c.tag(seq, 0)))
+		srcs = append(srcs, src)
+	}
+	sreqs := make([]*Request, 0, p-1)
+	for k := 1; k < p; k++ {
+		dst := (me + k) % p
+		sreqs = append(sreqs, c.isendTag(dst, c.tag(seq, 0), mine))
+	}
+	for i, rq := range rreqs {
+		recv[srcs[i]] = rq.Wait(r)
+	}
+	WaitAll(r, sreqs...)
+	return recv
+}
+
+// sortInts is a tiny insertion sort (block index lists are short).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Alltoall and Alltoallv: pairwise exchange for large messages, Bruck's
+// algorithm for small ones, and a linear (all-posted) variant, mirroring
+// the decision rules of production MPI implementations. The paper's
+// micro-benchmarks (Figures 3–5) and Splatt's dominant operation
+// (MPI_Alltoallv, §4.2) run on these schedules.
+
+package mpi
+
+import "fmt"
+
+// alltoallBruckThreshold is the per-destination block size (bytes) up to
+// which Bruck's algorithm is preferred.
+const alltoallBruckThreshold = 2048
+
+// Alltoall exchanges send[i] with every rank i of the communicator and
+// returns recv with recv[i] = the buffer rank i sent to the caller.
+// Every rank must pass a slice of length Size(). Uneven block sizes are
+// allowed (this is MPI_Alltoallv); evenly sized small blocks use Bruck.
+func (c *Comm) Alltoall(r *Rank, send []Buf) []Buf {
+	p := len(c.group)
+	if len(send) != p {
+		panic(fmt.Sprintf("mpi: Alltoall with %d buffers on a size-%d communicator", len(send), p))
+	}
+	var total int64
+	even := true
+	for i, b := range send {
+		b.check()
+		total += b.Bytes
+		if b.Bytes != send[0].Bytes {
+			even = false
+		}
+		_ = i
+	}
+	seq := c.nextSeq()
+	start := r.Now()
+	alg := c.w.cfg.ForceAlltoall
+	if alg == "" {
+		if even && p > 2 && send[0].Bytes <= alltoallBruckThreshold {
+			alg = "bruck"
+		} else {
+			alg = "pairwise"
+		}
+	}
+	var recv []Buf
+	switch alg {
+	case "pairwise":
+		recv = c.alltoallPairwise(r, seq, send)
+	case "bruck":
+		if !even {
+			panic("mpi: Bruck alltoall requires equal block sizes")
+		}
+		recv = c.alltoallBruck(r, seq, send)
+	case "linear":
+		recv = c.alltoallLinear(r, seq, send)
+	default:
+		panic(fmt.Sprintf("mpi: unknown alltoall algorithm %q", alg))
+	}
+	c.trace(r, "Alltoall", total, start)
+	return recv
+}
+
+// alltoallPairwise runs p-1 rounds; in round k the caller exchanges with
+// ranks at distance k (XOR pattern when p is a power of two, shift pattern
+// otherwise), one blocking sendrecv per round.
+func (c *Comm) alltoallPairwise(r *Rank, seq int64, send []Buf) []Buf {
+	p := len(c.group)
+	me := c.rank
+	recv := make([]Buf, p)
+	recv[me] = send[me].Clone()
+	pow2 := p&(p-1) == 0
+	for k := 1; k < p; k++ {
+		var dst, src int
+		if pow2 {
+			dst = me ^ k
+			src = dst
+		} else {
+			dst = (me + k) % p
+			src = (me - k + p) % p
+		}
+		t := c.tag(seq, int64(k))
+		rr := c.irecvTag(src, t)
+		sr := c.isendTag(dst, t, send[dst])
+		recv[src] = rr.Wait(r)
+		sr.Wait(r)
+	}
+	return recv
+}
+
+// alltoallLinear posts every receive and send at once and waits for all —
+// maximum overlap, maximum instantaneous contention.
+func (c *Comm) alltoallLinear(r *Rank, seq int64, send []Buf) []Buf {
+	p := len(c.group)
+	me := c.rank
+	recv := make([]Buf, p)
+	recv[me] = send[me].Clone()
+	rreqs := make([]*Request, 0, p-1)
+	sreqs := make([]*Request, 0, p-1)
+	srcs := make([]int, 0, p-1)
+	for k := 1; k < p; k++ {
+		src := (me - k + p) % p
+		rreqs = append(rreqs, c.irecvTag(src, c.tag(seq, 0)))
+		srcs = append(srcs, src)
+	}
+	for k := 1; k < p; k++ {
+		dst := (me + k) % p
+		sreqs = append(sreqs, c.isendTag(dst, c.tag(seq, 0), send[dst]))
+	}
+	for i, rq := range rreqs {
+		recv[srcs[i]] = rq.Wait(r)
+	}
+	WaitAll(r, sreqs...)
+	return recv
+}
+
+// alltoallBruck implements Bruck's log-round algorithm for equal blocks.
+// Invariant: after the rounds, local block i holds the data sent by rank
+// (me-i+p)%p to the caller.
+func (c *Comm) alltoallBruck(r *Rank, seq int64, send []Buf) []Buf {
+	p := len(c.group)
+	me := c.rank
+	// Step 1: local rotation. tmp[i] = block destined to (me+i)%p.
+	tmp := make([]Buf, p)
+	for i := 0; i < p; i++ {
+		tmp[i] = send[(me+i)%p].Clone()
+	}
+	// Step 2: log2(p) rounds.
+	round := int64(0)
+	for k := 1; k < p; k <<= 1 {
+		dst := (me + k) % p
+		src := (me - k + p) % p
+		idx := make([]int, 0, p/2+1)
+		for i := 0; i < p; i++ {
+			if i&k != 0 {
+				idx = append(idx, i)
+			}
+		}
+		parts := make([]Buf, len(idx))
+		for j, i := range idx {
+			parts[j] = tmp[i]
+		}
+		t := c.tag(seq, round)
+		rr := c.irecvTag(src, t)
+		sr := c.isendTag(dst, t, Concat(parts...))
+		in := rr.Wait(r)
+		sr.Wait(r)
+		inParts := in.SplitEven(len(idx))
+		for j, i := range idx {
+			tmp[i] = inParts[j].Clone()
+		}
+		round++
+	}
+	// Step 3: inverse rotation — tmp[i] came from rank (me-i+p)%p.
+	recv := make([]Buf, p)
+	for i := 0; i < p; i++ {
+		recv[(me-i+p)%p] = tmp[i]
+	}
+	return recv
+}

@@ -1,0 +1,130 @@
+package mpi
+
+import "testing"
+
+func TestGatherv(t *testing.T) {
+	for _, root := range []int{0, 3} {
+		runWorld(t, 6, Config{}, func(r *Rank) {
+			w := r.World()
+			data := make([]float64, r.ID()+1) // uneven sizes
+			for i := range data {
+				data[i] = float64(r.ID()*10 + i)
+			}
+			recv := w.Gatherv(r, root, F64Buf(data))
+			if r.ID() != root {
+				if recv != nil {
+					t.Errorf("non-root %d got data", r.ID())
+				}
+				return
+			}
+			for s := 0; s < 6; s++ {
+				if len(recv[s].Data) != s+1 {
+					t.Errorf("root %d: block %d has %d elems, want %d", root, s, len(recv[s].Data), s+1)
+					continue
+				}
+				if recv[s].Data[0] != float64(s*10) {
+					t.Errorf("root %d: block %d = %v", root, s, recv[s].Data)
+				}
+			}
+		})
+	}
+}
+
+func TestScatterv(t *testing.T) {
+	for _, root := range []int{0, 2} {
+		runWorld(t, 5, Config{}, func(r *Rank) {
+			w := r.World()
+			var send []Buf
+			if r.ID() == root {
+				send = make([]Buf, 5)
+				for i := range send {
+					data := make([]float64, i+2) // uneven
+					for j := range data {
+						data[j] = float64(i*100 + j)
+					}
+					send[i] = F64Buf(data)
+				}
+			}
+			got := w.Scatterv(r, root, send)
+			if len(got.Data) != r.ID()+2 || got.Data[0] != float64(r.ID()*100) {
+				t.Errorf("rank %d got %v", r.ID(), got.Data)
+			}
+		})
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	runWorld(t, 5, Config{}, func(r *Rank) {
+		w := r.World()
+		data := make([]float64, r.ID()+1)
+		for i := range data {
+			data[i] = float64(r.ID())
+		}
+		recv := w.Allgatherv(r, F64Buf(data))
+		for s := 0; s < 5; s++ {
+			if len(recv[s].Data) != s+1 || recv[s].Data[0] != float64(s) {
+				t.Errorf("rank %d: block %d = %v", r.ID(), s, recv[s].Data)
+			}
+		}
+	})
+}
+
+func TestExscan(t *testing.T) {
+	for _, n := range []int{8, 5} {
+		runWorld(t, n, Config{}, func(r *Rank) {
+			w := r.World()
+			out := w.Exscan(r, F64Buf([]float64{float64(r.ID() + 1)}), OpSum)
+			if r.ID() == 0 {
+				if out.Data != nil && len(out.Data) > 0 && out.Data[0] != 0 {
+					t.Errorf("rank 0 exscan = %v, want empty/zero", out.Data)
+				}
+				return
+			}
+			want := float64(r.ID() * (r.ID() + 1) / 2) // 1+2+…+rank
+			if len(out.Data) != 1 || out.Data[0] != want {
+				t.Errorf("n=%d rank %d exscan = %v, want %v", n, r.ID(), out.Data, want)
+			}
+		})
+	}
+}
+
+func TestExscanConsistentWithScan(t *testing.T) {
+	runWorld(t, 7, Config{}, func(r *Rank) {
+		w := r.World()
+		mine := F64Buf([]float64{float64(r.ID()*3 + 1)})
+		inc := w.Scan(r, mine, OpSum)
+		exc := w.Exscan(r, mine, OpSum)
+		if r.ID() == 0 {
+			return
+		}
+		// inclusive = exclusive + mine.
+		if inc.Data[0] != exc.Data[0]+mine.Data[0] {
+			t.Errorf("rank %d: scan %v != exscan %v + mine %v",
+				r.ID(), inc.Data[0], exc.Data[0], mine.Data[0])
+		}
+	})
+}
+
+func TestGathervTraced(t *testing.T) {
+	tr := &recordingTracer{}
+	_, err := Run(testSpec16(), identityBinding(4), Config{Tracer: tr}, func(r *Rank) {
+		w := r.World()
+		w.Gatherv(r, 0, BytesBuf(int64(100*(r.ID()+1))))
+		w.Allgatherv(r, BytesBuf(64))
+		w.Exscan(r, BytesBuf(8), OpSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	ops := map[string]int{}
+	for _, rec := range tr.recs {
+		ops[rec.op]++
+	}
+	for _, op := range []string{"Gatherv", "Allgatherv", "Exscan"} {
+		if ops[op] != 4 {
+			t.Errorf("%s traced %d times, want 4", op, ops[op])
+		}
+	}
+}

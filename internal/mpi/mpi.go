@@ -1,0 +1,318 @@
+// Package mpi is a simulated MPI runtime: ranks are goroutines executing
+// against the virtual clock of a discrete-event engine, point-to-point
+// messages are fluid flows over the machine's link graph, and collective
+// operations are the real message schedules of the textbook algorithms
+// (ring, Bruck, recursive doubling, pairwise exchange, binomial trees), so
+// their cost depends on where each rank is mapped — which is exactly the
+// effect the paper studies.
+//
+// A World is created over a netmodel platform with a binding (rank → core).
+// Each rank's body receives a *Rank handle giving MPI-style operations:
+// Send/Recv/Isend/Irecv/Sendrecv, communicator Split, and the collectives
+// used in the paper's evaluation (§4): Alltoall(v), Allreduce, Allgather,
+// Bcast, Reduce, Gather, Scatter, Scan, Barrier.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// EagerThreshold is the message size (bytes) up to which sends complete
+// immediately (eager protocol); larger messages use a rendezvous handshake
+// costing one extra round trip of path latency.
+const defaultEagerThreshold = 16 * 1024
+
+// Tracer observes completed operations for profiling (the mpisee-style
+// per-communicator accounting of §4.2). Implementations must be safe for
+// concurrent use — ranks call it from their own goroutines.
+type Tracer interface {
+	// Collective records one collective call: the communicator id and size,
+	// the operation name, the per-rank payload bytes, the world rank, and
+	// the operation's virtual start/end times.
+	Collective(commID, commSize int, op string, bytes int64, worldRank int, start, end float64)
+}
+
+// P2PTracer observes every point-to-point message (including the ones
+// collective algorithms issue), e.g. to build a communication matrix at
+// runtime (§2 of the paper). Implementations must be safe for concurrent
+// use.
+type P2PTracer interface {
+	P2P(srcWorldRank, dstWorldRank int, bytes int64)
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// EagerThreshold in bytes; 0 uses the default (16 KiB).
+	EagerThreshold int64
+	// Tracer receives per-operation records; nil disables tracing.
+	Tracer Tracer
+	// P2P receives every point-to-point message; nil disables it.
+	P2P P2PTracer
+	// Force* pin a collective to one algorithm ("" = size-based decision).
+	ForceAlltoall  string
+	ForceAllgather string
+	ForceAllreduce string
+	ForceBcast     string
+}
+
+// World is one simulated MPI job.
+type World struct {
+	engine   *sim.Engine
+	platform *netmodel.Platform
+	binding  []int
+	cfg      Config
+
+	mu      sync.Mutex
+	mail    []map[matchKey]*matchQueue // per destination rank
+	commSeq int
+	splits  map[splitKey]*splitState
+}
+
+type matchKey struct {
+	src int
+	tag int64
+}
+
+// matchQueue holds unmatched sends and unmatched recvs for one (src, tag)
+// channel at one destination; at most one of the two lists is non-empty.
+type matchQueue struct {
+	sends []*sendRec
+	recvs []*recvRec
+}
+
+type sendRec struct {
+	buf       Buf
+	srcCore   int
+	dstCore   int
+	started   bool           // transfer already launched (eager)
+	transfer  *sim.Condition // completion of the data movement (set when started)
+	senderFin *sim.Condition // fired when the sender may complete
+}
+
+type recvRec struct {
+	fin *sim.Condition // fired when data has arrived
+	buf *Buf           // destination for the received payload
+}
+
+// Rank is the per-process handle passed to the rank body.
+type Rank struct {
+	w     *World
+	proc  *sim.Process
+	id    int
+	world *Comm
+}
+
+// NewWorld builds a world over the platform with the given rank→core
+// binding. Every core index must be valid; ranks may share cores
+// (oversubscription) although the experiments never do.
+func NewWorld(engine *sim.Engine, platform *netmodel.Platform, binding []int, cfg Config) (*World, error) {
+	n := len(binding)
+	if n == 0 {
+		return nil, fmt.Errorf("mpi: empty binding")
+	}
+	for r, c := range binding {
+		if c < 0 || c >= platform.NumCores() {
+			return nil, fmt.Errorf("mpi: rank %d bound to invalid core %d (machine has %d)", r, c, platform.NumCores())
+		}
+	}
+	if cfg.EagerThreshold == 0 {
+		cfg.EagerThreshold = defaultEagerThreshold
+	}
+	w := &World{
+		engine:   engine,
+		platform: platform,
+		binding:  append([]int(nil), binding...),
+		cfg:      cfg,
+		mail:     make([]map[matchKey]*matchQueue, n),
+		splits:   make(map[splitKey]*splitState),
+	}
+	for i := range w.mail {
+		w.mail[i] = make(map[matchKey]*matchQueue)
+	}
+	w.commSeq = 1 // id 0 is the world communicator
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.binding) }
+
+// Core returns the core a world rank is bound to.
+func (w *World) Core(rank int) int { return w.binding[rank] }
+
+// Spawn launches every rank's body as a simulation process. Call before
+// engine.Run.
+func (w *World) Spawn(body func(r *Rank)) {
+	group := make([]int, w.Size())
+	for i := range group {
+		group[i] = i
+	}
+	for i := 0; i < w.Size(); i++ {
+		rank := i
+		w.engine.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Process) {
+			r := &Rank{w: w, proc: p, id: rank}
+			r.world = &Comm{w: w, id: 0, group: group, rank: rank}
+			body(r)
+		})
+	}
+}
+
+// Run builds a world on a fresh engine, spawns nprocs ranks with the given
+// binding and body, and runs the simulation to completion, returning the
+// final virtual time.
+func Run(spec netmodel.Spec, binding []int, cfg Config, body func(r *Rank)) (float64, error) {
+	engine := sim.NewEngine()
+	platform := netmodel.NewPlatform(engine, spec)
+	w, err := NewWorld(engine, platform, binding, cfg)
+	if err != nil {
+		return 0, err
+	}
+	w.Spawn(body)
+	if err := engine.Run(); err != nil {
+		return 0, err
+	}
+	return engine.Now(), nil
+}
+
+// ID returns the world rank.
+func (r *Rank) ID() int { return r.id }
+
+// World returns the communicator containing every rank.
+func (r *Rank) World() *Comm { return r.world }
+
+// Now returns the rank's current virtual time in seconds.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// Core returns the core this rank is bound to.
+func (r *Rank) Core() int { return r.w.binding[r.id] }
+
+// Wait advances the rank's virtual time by d seconds (pure local work).
+func (r *Rank) Wait(d float64) { r.proc.Wait(d) }
+
+// Compute models a roofline kernel on the rank's core: flops of arithmetic
+// and bytes of memory traffic through the core's shared memory domains.
+func (r *Rank) Compute(flops, bytes float64) {
+	r.w.platform.Compute(r.proc, r.w.binding[r.id], flops, bytes)
+}
+
+// Request is a pending non-blocking operation.
+type Request struct {
+	fin *sim.Condition
+	buf *Buf // receive destination (nil for sends)
+}
+
+// Wait blocks the rank until the operation completes; for receives it
+// returns the received payload.
+func (req *Request) Wait(r *Rank) Buf {
+	req.fin.Await(r.proc)
+	if req.buf != nil {
+		return *req.buf
+	}
+	return Buf{}
+}
+
+// WaitAll completes all requests.
+func WaitAll(r *Rank, reqs ...*Request) {
+	for _, q := range reqs {
+		q.fin.Await(r.proc)
+	}
+}
+
+// queueFor returns (creating if needed) the match queue at destination dst
+// for messages from src with the tag. Callers hold w.mu.
+func (w *World) queueFor(dst, src int, tag int64) *matchQueue {
+	k := matchKey{src: src, tag: tag}
+	q := w.mail[dst][k]
+	if q == nil {
+		q = &matchQueue{}
+		w.mail[dst][k] = q
+	}
+	return q
+}
+
+// isend posts a message from world rank src to world rank dst.
+func (w *World) isend(src, dst int, tag int64, buf Buf) *Request {
+	buf.check()
+	if w.cfg.P2P != nil {
+		w.cfg.P2P.P2P(src, dst, buf.Bytes)
+	}
+	srcCore, dstCore := w.binding[src], w.binding[dst]
+	eager := buf.Bytes <= w.cfg.EagerThreshold
+
+	w.mu.Lock()
+	q := w.queueFor(dst, src, tag)
+	if len(q.recvs) > 0 {
+		// A receive is already posted: start the transfer now. Rendezvous
+		// pays no extra handshake because the receiver was ready.
+		rv := q.recvs[0]
+		q.recvs = q.recvs[1:]
+		w.mu.Unlock()
+		payload := buf.Clone()
+		c := w.platform.StartTransfer(srcCore, dstCore, float64(buf.Bytes))
+		c.OnFire(func() {
+			*rv.buf = payload
+			rv.fin.FireLocked()
+		})
+		if eager {
+			// Eager sends complete locally right away.
+			fin := w.engine.NewCondition()
+			fin.Fire()
+			return &Request{fin: fin}
+		}
+		return &Request{fin: c}
+	}
+	// No receive yet: enqueue.
+	rec := &sendRec{buf: buf.Clone(), srcCore: srcCore, dstCore: dstCore}
+	fin := w.engine.NewCondition()
+	rec.senderFin = fin
+	if eager {
+		// Launch the transfer immediately; the sender is done already.
+		// The transfer must be attached before the record becomes visible.
+		rec.started = true
+		rec.transfer = w.platform.StartTransfer(srcCore, dstCore, float64(buf.Bytes))
+	}
+	q.sends = append(q.sends, rec)
+	w.mu.Unlock()
+	if eager {
+		fin.Fire()
+	}
+	return &Request{fin: fin}
+}
+
+// irecv posts a receive at world rank dst for a message from src.
+func (w *World) irecv(dst, src int, tag int64) *Request {
+	fin := w.engine.NewCondition()
+	out := new(Buf)
+	dstCore := w.binding[dst]
+
+	w.mu.Lock()
+	q := w.queueFor(dst, src, tag)
+	if len(q.sends) > 0 {
+		rec := q.sends[0]
+		q.sends = q.sends[1:]
+		w.mu.Unlock()
+		if rec.started {
+			// Eager message already in flight (or arrived).
+			rec.transfer.OnFire(func() {
+				*out = rec.buf
+				fin.FireLocked()
+			})
+		} else {
+			// Rendezvous: the receiver triggers the transfer and pays the
+			// handshake round trip on top of the path latency.
+			c := w.platform.StartTransferExtra(rec.srcCore, dstCore, float64(rec.buf.Bytes), 1)
+			c.OnFire(func() {
+				*out = rec.buf
+				fin.FireLocked()
+				rec.senderFin.FireLocked()
+			})
+		}
+		return &Request{fin: fin, buf: out}
+	}
+	q.recvs = append(q.recvs, &recvRec{fin: fin, buf: out})
+	w.mu.Unlock()
+	return &Request{fin: fin, buf: out}
+}

@@ -1,0 +1,75 @@
+// Hierarchy-sensitive communicator creation — the paper's §5 direction
+// ("implement strategies in MPI libraries to reorder ranks and create
+// communicators in a hierarchy-sensitive way") and the guided mode of
+// MPI_Comm_split_type from MPI 4.0 (§2): split a communicator by a level
+// of the machine hierarchy, or reorder it by a mixed-radix order in one
+// collective call.
+
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/mixedradix"
+)
+
+// SplitByLevel groups the communicator's ranks by the machine-hierarchy
+// domain of the given level that their cores belong to (level 0 =
+// outermost; Depth()-1 yields singleton communicators per core). This is
+// the guided MPI_Comm_split_type: SplitByLevel(r, 0) on a cluster
+// hierarchy is MPI_COMM_TYPE_SHARED (one communicator per node). Rank
+// order within each new communicator follows the current one.
+func (c *Comm) SplitByLevel(r *Rank, level int) *Comm {
+	h := c.w.platform.Hierarchy()
+	if level < 0 || level >= h.Depth() {
+		panic(fmt.Sprintf("mpi: SplitByLevel level %d out of range [0, %d)", level, h.Depth()))
+	}
+	coresPerDomain := 1
+	ar := h.Arities()
+	for l := level + 1; l < len(ar); l++ {
+		coresPerDomain *= ar[l]
+	}
+	core := c.w.binding[c.group[c.rank]]
+	return c.Split(r, core/coresPerDomain, c.rank)
+}
+
+// SplitReordered renumbers the communicator's ranks with the mixed-radix
+// order sigma over hierarchy arities h — the paper's §3.2 reordering as a
+// single collective call. The hierarchy must enumerate exactly the
+// communicator's size and every rank must pass identical arguments. The
+// caller's current rank is treated as its position in the hierarchy's
+// initial enumeration.
+func (c *Comm) SplitReordered(r *Rank, h []int, sigma []int) (*Comm, error) {
+	if mixedradix.Size(h) != len(c.group) {
+		return nil, fmt.Errorf("mpi: hierarchy %v enumerates %d ranks, communicator has %d",
+			h, mixedradix.Size(h), len(c.group))
+	}
+	key, err := func() (k int, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("mpi: SplitReordered: %v", rec)
+			}
+		}()
+		return mixedradix.NewRank(h, c.rank, sigma), nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return c.Split(r, 0, key), nil
+}
+
+// SubcommsReordered applies the full §3.2/§4.1 recipe in one call:
+// reorder the communicator with sigma over hierarchy h, then split the
+// reordered numbering into blocks of commSize (quotient colouring). It
+// returns the caller's subcommunicator. commSize must divide the
+// communicator size.
+func (c *Comm) SubcommsReordered(r *Rank, h []int, sigma []int, commSize int) (*Comm, error) {
+	if commSize <= 0 || len(c.group)%commSize != 0 {
+		return nil, fmt.Errorf("mpi: subcommunicator size %d does not divide %d", commSize, len(c.group))
+	}
+	reordered, err := c.SplitReordered(r, h, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return reordered.Split(r, reordered.Rank()/commSize, reordered.Rank()%commSize), nil
+}

@@ -1,0 +1,127 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestSplitByLevelNode(t *testing.T) {
+	// ⟦2,2,4⟧ test machine: level 0 = node → two comms of 8.
+	runWorld(t, 16, Config{}, func(r *Rank) {
+		sub := r.World().SplitByLevel(r, 0)
+		if sub.Size() != 8 {
+			t.Errorf("rank %d: node comm size %d", r.ID(), sub.Size())
+		}
+		wantRank := r.ID() % 8
+		if sub.Rank() != wantRank {
+			t.Errorf("rank %d: node comm rank %d, want %d", r.ID(), sub.Rank(), wantRank)
+		}
+	})
+}
+
+func TestSplitByLevelSocket(t *testing.T) {
+	runWorld(t, 16, Config{}, func(r *Rank) {
+		sub := r.World().SplitByLevel(r, 1)
+		if sub.Size() != 4 {
+			t.Errorf("rank %d: socket comm size %d", r.ID(), sub.Size())
+		}
+		// Ranks 0-3 share socket 0 of node 0, etc.
+		for _, w := range sub.Group() {
+			if w/4 != r.ID()/4 {
+				t.Errorf("rank %d grouped with %d", r.ID(), w)
+			}
+		}
+	})
+}
+
+func TestSplitByLevelCore(t *testing.T) {
+	runWorld(t, 16, Config{}, func(r *Rank) {
+		sub := r.World().SplitByLevel(r, 2)
+		if sub.Size() != 1 {
+			t.Errorf("rank %d: core comm size %d", r.ID(), sub.Size())
+		}
+	})
+}
+
+func TestSplitByLevelRespectsBinding(t *testing.T) {
+	// Two ranks bound to the same node, one to the other node.
+	binding := []int{0, 3, 9}
+	_, err := Run(testSpec16(), binding, Config{}, func(r *Rank) {
+		sub := r.World().SplitByLevel(r, 0)
+		wantSize := 2
+		if r.ID() == 2 {
+			wantSize = 1
+		}
+		if sub.Size() != wantSize {
+			t.Errorf("rank %d: node comm size %d, want %d", r.ID(), sub.Size(), wantSize)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitReorderedMatchesTable1(t *testing.T) {
+	runWorld(t, 16, Config{}, func(r *Rank) {
+		sub, err := r.World().SplitReordered(r, []int{2, 2, 4}, []int{0, 1, 2})
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if sub.Size() != 16 {
+			t.Errorf("reordered comm size %d", sub.Size())
+		}
+		// Table 1 / Figure 2a: world rank 10 becomes rank 9.
+		if r.ID() == 10 && sub.Rank() != 9 {
+			t.Errorf("world rank 10 -> reordered %d, want 9", sub.Rank())
+		}
+		if r.ID() == 1 && sub.Rank() != 4 {
+			t.Errorf("world rank 1 -> reordered %d, want 4", sub.Rank())
+		}
+	})
+}
+
+func TestSplitReorderedErrors(t *testing.T) {
+	runWorld(t, 16, Config{}, func(r *Rank) {
+		if _, err := r.World().SplitReordered(r, []int{2, 4}, []int{0, 1}); err == nil {
+			t.Error("wrong-size hierarchy accepted")
+		}
+	})
+}
+
+func TestSubcommsReordered(t *testing.T) {
+	runWorld(t, 16, Config{}, func(r *Rank) {
+		sub, err := r.World().SubcommsReordered(r, []int{2, 2, 4}, []int{0, 1, 2}, 4)
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if sub.Size() != 4 {
+			t.Errorf("subcomm size %d", sub.Size())
+		}
+		// Figure 2a, blue communicator: reordered ranks 0..3 are world
+		// ranks 0, 8, 4, 12 → the comm containing world rank 0 also holds
+		// 4, 8, 12.
+		if r.ID() == 0 {
+			got := sub.Group()
+			want := map[int]bool{0: true, 4: true, 8: true, 12: true}
+			for _, w := range got {
+				if !want[w] {
+					t.Errorf("first subcomm contains world rank %d (group %v)", w, got)
+				}
+			}
+		}
+		// The subcommunicator must function: allreduce over it.
+		out := sub.Allreduce(r, F64Buf([]float64{1}), OpSum)
+		if out.Data[0] != 4 {
+			t.Errorf("rank %d: allreduce %v", r.ID(), out.Data[0])
+		}
+	})
+}
+
+func TestSubcommsReorderedBadSize(t *testing.T) {
+	runWorld(t, 16, Config{}, func(r *Rank) {
+		if _, err := r.World().SubcommsReordered(r, []int{2, 2, 4}, []int{0, 1, 2}, 3); err == nil {
+			t.Error("non-dividing subcomm size accepted")
+		}
+	})
+}

@@ -1,0 +1,321 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testSpec is a small ⟦2,2,4⟧ machine with round capacities so expected
+// durations can be computed by hand:
+// NIC 10 GB/s, inter-socket uplink 20 GB/s, node bus 50 GB/s,
+// socket memory bus 30 GB/s.
+func testSpec() Spec {
+	return Spec{
+		Name: "test",
+		Levels: []LevelSpec{
+			{Name: "node", Arity: 2, UpBandwidth: 10e9, BusBandwidth: 50e9, Latency: 2e-6},
+			{Name: "socket", Arity: 2, UpBandwidth: 20e9, BusBandwidth: 30e9, Latency: 1e-6, MemBandwidth: 30e9},
+			{Name: "core", Arity: 4, Latency: 0.1e-6},
+		},
+		CoreFlops: 1e9,
+	}
+}
+
+func run(t *testing.T, body func(e *sim.Engine, p *Platform)) *sim.Engine {
+	t.Helper()
+	e := sim.NewEngine()
+	p := NewPlatform(e, testSpec())
+	body(e, p)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.9g, want %.9g (±%.1g)", name, got, want, tol)
+	}
+}
+
+func TestSingleFlowSameSocket(t *testing.T) {
+	var end float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("r", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 1, 3e9)
+			end = proc.Now()
+		})
+	})
+	// 3 GB over the 30 GB/s socket bus + 0.1 µs latency.
+	approx(t, "same-socket transfer", end, 0.1+0.1e-6, 1e-9)
+}
+
+func TestSingleFlowCrossSocket(t *testing.T) {
+	var end float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("r", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 4, 3e9)
+			end = proc.Now()
+		})
+	})
+	// Bottleneck: 20 GB/s socket uplink; latency 1 µs.
+	approx(t, "cross-socket transfer", end, 0.15+1e-6, 1e-9)
+}
+
+func TestSingleFlowCrossNode(t *testing.T) {
+	var end float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("r", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 8, 3e9)
+			end = proc.Now()
+		})
+	})
+	// Bottleneck: 10 GB/s NIC; latency 2 µs.
+	approx(t, "cross-node transfer", end, 0.3+2e-6, 1e-9)
+}
+
+func TestTwoFlowsShareNIC(t *testing.T) {
+	var e1, e2 float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("a", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 8, 3e9)
+			e1 = proc.Now()
+		})
+		e.Spawn("b", func(proc *sim.Process) {
+			p.Transfer(proc, 1, 9, 3e9)
+			e2 = proc.Now()
+		})
+	})
+	// Both flows share the node-0 NIC: 5 GB/s each.
+	approx(t, "flow a", e1, 0.6+2e-6, 1e-8)
+	approx(t, "flow b", e2, 0.6+2e-6, 1e-8)
+}
+
+func TestMaxMinUnevenShare(t *testing.T) {
+	// Flow 1 (0→1) uses only the socket bus; flow 2 (0→8) is NIC-limited
+	// to 10 GB/s, so flow 1 gets the remaining 20 GB/s of the 30 GB/s bus.
+	var e1, e2 float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("a", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 1, 3e9)
+			e1 = proc.Now()
+		})
+		e.Spawn("b", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 8, 3e9)
+			e2 = proc.Now()
+		})
+	})
+	// Tolerances absorb the latency stagger: flow 1 runs alone at 30 GB/s
+	// for the 1.9 µs before flow 2's higher-latency start.
+	approx(t, "bus-only flow", e1, 0.15, 5e-6)
+	approx(t, "NIC-limited flow", e2, 0.3, 5e-6)
+}
+
+func TestWorkConservationAfterDeparture(t *testing.T) {
+	// Two equal flows share the NIC; when the shorter one finishes the
+	// longer one speeds up to the full 10 GB/s.
+	var end float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("short", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 8, 1e9)
+		})
+		e.Spawn("long", func(proc *sim.Process) {
+			p.Transfer(proc, 1, 9, 3e9)
+			end = proc.Now()
+		})
+	})
+	// Phase 1: both at 5 GB/s until short done at t=0.2 (+lat).
+	// Long has 2e9 left, now at 10 GB/s: +0.2 s. Total ≈ 0.4 s.
+	approx(t, "long flow end", end, 0.4+2e-6, 1e-7)
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	var end float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("r", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 8, 0)
+			end = proc.Now()
+		})
+	})
+	approx(t, "zero-byte transfer", end, 2e-6, 1e-12)
+}
+
+func TestSameCoreTransferPureLatency(t *testing.T) {
+	var end float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("r", func(proc *sim.Process) {
+			p.Transfer(proc, 3, 3, 5e9)
+			end = proc.Now()
+		})
+	})
+	// Same core: empty path, pure intra-level latency.
+	approx(t, "same-core transfer", end, 0.1e-6, 1e-12)
+}
+
+func TestStaggeredArrival(t *testing.T) {
+	// Second flow arrives halfway through the first.
+	var e1 float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("a", func(proc *sim.Process) {
+			p.Transfer(proc, 0, 8, 2e9) // alone: 10 GB/s
+			e1 = proc.Now()
+		})
+		e.Spawn("b", func(proc *sim.Process) {
+			proc.Wait(0.1)
+			p.Transfer(proc, 1, 9, 2e9)
+		})
+	})
+	// Flow a: 1e9 done at t=0.1, then shares at 5 GB/s: 1e9 more takes 0.2.
+	approx(t, "staggered flow a", e1, 0.3+2e-6, 1e-7)
+}
+
+func TestComputeRoofline(t *testing.T) {
+	var tMem, tFlop float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("mem", func(proc *sim.Process) {
+			p.Compute(proc, 0, 1e9, 3e9) // mem: 0.1 s, flops: 1 s → 1 s
+			tFlop = proc.Now()
+		})
+		e.Spawn("mem2", func(proc *sim.Process) {
+			proc.Wait(2)
+			start := proc.Now()
+			p.Compute(proc, 4, 0.1e9, 6e9) // mem: 0.2 s dominates
+			tMem = proc.Now() - start
+		})
+	})
+	approx(t, "flop-bound compute", tFlop, 1.0, 1e-6)
+	approx(t, "mem-bound compute", tMem, 0.2, 1e-6)
+}
+
+func TestComputeContention(t *testing.T) {
+	// Two ranks in the same socket share its 30 GB/s memory bandwidth;
+	// a rank in the other socket does not.
+	var t0, t1, t4 float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		e.Spawn("r0", func(proc *sim.Process) {
+			p.Compute(proc, 0, 0, 3e9)
+			t0 = proc.Now()
+		})
+		e.Spawn("r1", func(proc *sim.Process) {
+			p.Compute(proc, 1, 0, 3e9)
+			t1 = proc.Now()
+		})
+		e.Spawn("r4", func(proc *sim.Process) {
+			p.Compute(proc, 4, 0, 3e9)
+			t4 = proc.Now()
+		})
+	})
+	approx(t, "contended rank 0", t0, 0.2, 1e-7)
+	approx(t, "contended rank 1", t1, 0.2, 1e-7)
+	approx(t, "uncontended rank 4", t4, 0.1, 1e-7)
+}
+
+func TestCommPathStructure(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewPlatform(e, testSpec())
+	path, lat := p.CommPath(0, 1)
+	if len(path) != 1 || lat != 0.1e-6 {
+		t.Errorf("same-socket path = %v, lat %v", path, lat)
+	}
+	path, lat = p.CommPath(0, 4)
+	if len(path) != 5 || lat != 1e-6 {
+		t.Errorf("cross-socket path has %d links (%v), lat %v", len(path), path, lat)
+	}
+	path, lat = p.CommPath(0, 8)
+	// bus(s0) out(s0) out(n0) in(n1) in(s2) bus(s2): fabric unlimited → absent.
+	if len(path) != 6 || lat != 2e-6 {
+		t.Errorf("cross-node path has %d links (%v), lat %v", len(path), path, lat)
+	}
+}
+
+func TestFabricLink(t *testing.T) {
+	spec := testSpec()
+	spec.FabricBandwidth = 5e9
+	e := sim.NewEngine()
+	p := NewPlatform(e, spec)
+	path, _ := p.CommPath(0, 8)
+	found := false
+	for _, l := range path {
+		if l.Name == "fabric" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fabric link missing from inter-node path")
+	}
+	var end float64
+	e.Spawn("r", func(proc *sim.Process) {
+		p.Transfer(proc, 0, 8, 1e9)
+		end = proc.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "fabric-limited transfer", end, 0.2+2e-6, 1e-8)
+}
+
+func TestNICsPerNodeDoublesBandwidth(t *testing.T) {
+	spec := testSpec()
+	spec.NICsPerNode = 2
+	e := sim.NewEngine()
+	p := NewPlatform(e, spec)
+	var end float64
+	e.Spawn("r", func(proc *sim.Process) {
+		p.Transfer(proc, 0, 8, 3e9)
+		end = proc.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two NICs: node uplink 20 GB/s, bottleneck now socket uplink 20 GB/s.
+	approx(t, "2-NIC transfer", end, 0.15+2e-6, 1e-8)
+}
+
+func TestManyFlowsAggregate(t *testing.T) {
+	// 8 ranks of node 0 all send to node 1: NIC splits 8 ways, everything
+	// finishes together, at full NIC utilization.
+	var last float64
+	run(t, func(e *sim.Engine, p *Platform) {
+		for i := 0; i < 8; i++ {
+			src := i
+			e.Spawn("s", func(proc *sim.Process) {
+				p.Transfer(proc, src, 8+src, 1e9)
+				if proc.Now() > last {
+					last = proc.Now()
+				}
+			})
+		}
+	})
+	// 8 GB total through a 10 GB/s NIC.
+	approx(t, "aggregate completion", last, 0.8+2e-6, 1e-7)
+}
+
+func TestSpecHierarchy(t *testing.T) {
+	h := testSpec().Hierarchy()
+	if h.Size() != 16 || h.Depth() != 3 {
+		t.Errorf("hierarchy %v", h)
+	}
+	if h.Level(0).Name != "node" {
+		t.Errorf("level names %v", h.Names())
+	}
+}
+
+func BenchmarkContendedFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		p := NewPlatform(e, testSpec())
+		for j := 0; j < 64; j++ {
+			src := j % 8
+			dst := 8 + (j+3)%8
+			e.Spawn("s", func(proc *sim.Process) {
+				p.Transfer(proc, src, dst, 1e8)
+			})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

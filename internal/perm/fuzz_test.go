@@ -1,0 +1,27 @@
+package perm
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that accepted inputs
+// round-trip through Format.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"0-1-2", "[2, 1, 0, 3]", "0,1", "", "x", "0-0", "9", "-1-0", "1-2-0"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !IsPermutation(p) {
+			t.Fatalf("Parse(%q) accepted non-permutation %v", s, p)
+		}
+		back, err := Parse(Format(p))
+		if err != nil {
+			t.Fatalf("Format(%v) not reparseable: %v", p, err)
+		}
+		if !Equal(back, p) {
+			t.Fatalf("round trip %v -> %v", p, back)
+		}
+	})
+}

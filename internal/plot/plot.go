@@ -1,0 +1,134 @@
+// Package plot renders tiny ASCII charts for the command-line tools: the
+// horizontal bars of Figures 8 and 9 and log-scale bandwidth curves for
+// the micro-benchmark figures, so a terminal user sees the paper's shapes
+// without leaving the shell.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+	Note  string
+}
+
+// Bars renders a horizontal bar chart scaled to the longest value.
+// width is the number of character cells of the largest bar (default 40).
+func Bars(bars []Bar, unit string, width int) string {
+	return BarsMax(bars, unit, width, 0)
+}
+
+// BarsMax is Bars with an explicit full-scale value (0 = scale to the
+// group's maximum), letting several charts share one scale.
+func BarsMax(bars []Bar, unit string, width int, mx float64) string {
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > mx {
+			mx = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bars {
+		n := 0
+		if mx > 0 {
+			n = int(math.Round(b.Value / mx * float64(width)))
+		}
+		if n < 1 && b.Value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s %s%s %.4g %s%s\n",
+			labelW, b.Label, strings.Repeat("█", n), strings.Repeat(" ", width-n),
+			b.Value, unit, b.Note)
+	}
+	return sb.String()
+}
+
+// Series is one named curve for Lines.
+type Series struct {
+	Name   string
+	Points []float64 // y values, aligned with the shared x labels
+}
+
+// Lines renders aligned series as a log-scale column chart: one row per x
+// label, one column of normalized magnitude glyphs per series. It is a
+// reading aid, not a plot; exact numbers stay in the accompanying tables.
+func Lines(xLabels []string, series []Series, unit string) string {
+	const glyphs = " ▁▂▃▄▅▆▇█"
+	var mn, mx float64
+	mn = math.Inf(1)
+	for _, s := range series {
+		for _, v := range s.Points {
+			if v <= 0 {
+				continue
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	if math.IsInf(mn, 1) || mx <= mn {
+		mn, mx = 1, 10
+	}
+	logMin, logMax := math.Log(mn), math.Log(mx)
+	scale := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		f := (math.Log(v) - logMin) / (logMax - logMin)
+		idx := int(math.Round(f * float64(len([]rune(glyphs))-1)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > len([]rune(glyphs))-1 {
+			idx = len([]rune(glyphs)) - 1
+		}
+		return idx
+	}
+	runes := []rune(glyphs)
+	var sb strings.Builder
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s ", nameW, "")
+	for _, x := range xLabels {
+		fmt.Fprintf(&sb, "%7s", x)
+	}
+	fmt.Fprintf(&sb, "  (%s, log scale %s..%s)\n", unit, compact(mn), compact(mx))
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%-*s ", nameW, s.Name)
+		for _, v := range s.Points {
+			fmt.Fprintf(&sb, "%6s%c", "", runes[scale(v)])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func compact(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,62 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBars(t *testing.T) {
+	out := Bars([]Bar{
+		{Label: "0-1-2-3", Value: 30, Note: "  <- best"},
+		{Label: "3-2-1-0", Value: 15},
+		{Label: "zero", Value: 0},
+	}, "s", 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 20)) {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "█") {
+		t.Errorf("zero bar should be empty: %q", lines[2])
+	}
+	if !strings.Contains(lines[0], "<- best") {
+		t.Error("note missing")
+	}
+}
+
+func TestBarsDefaultWidth(t *testing.T) {
+	out := Bars([]Bar{{Label: "x", Value: 1}}, "MB/s", 0)
+	if !strings.Contains(out, strings.Repeat("█", 40)) {
+		t.Errorf("default width not applied: %q", out)
+	}
+}
+
+func TestLines(t *testing.T) {
+	out := Lines(
+		[]string{"16K", "1M", "64M"},
+		[]Series{
+			{Name: "spread", Points: []float64{1e6, 1e8, 1e10}},
+			{Name: "packed", Points: []float64{1e7, 1e7, 1e7}},
+		},
+		"B/s",
+	)
+	if !strings.Contains(out, "spread") || !strings.Contains(out, "16K") {
+		t.Errorf("Lines output:\n%s", out)
+	}
+	// The max point renders the tallest glyph, the min the shortest.
+	if !strings.Contains(out, "█") {
+		t.Error("no full glyph for the maximum")
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	out := Lines([]string{"a"}, []Series{{Name: "s", Points: []float64{0}}}, "x")
+	if out == "" {
+		t.Error("degenerate input should still render")
+	}
+}

@@ -1,0 +1,144 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+func TestCompositeBijection(t *testing.T) {
+	h := topology.MustNew(4, 2, 4) // 4 nodes × 8 cores
+	c, err := NewComposite(h, []Segment{
+		{Nodes: 2, Order: []int{0, 1, 2}}, // spread over its 2 nodes
+		{Nodes: 2, Order: []int{2, 1, 0}}, // packed on its 2 nodes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := make([]int, c.Size())
+	for old := 0; old < c.Size(); old++ {
+		tab[old] = c.NewRank(old)
+	}
+	if !perm.IsPermutation(tab) {
+		t.Fatalf("composite table is not a bijection: %v", tab)
+	}
+	for old := 0; old < c.Size(); old++ {
+		if c.OldRank(c.NewRank(old)) != old {
+			t.Fatalf("inverse broken at %d", old)
+		}
+	}
+}
+
+func TestCompositeSegmentsStayDisjoint(t *testing.T) {
+	h := topology.MustNew(4, 2, 4)
+	c, err := NewComposite(h, []Segment{
+		{Nodes: 2, Order: []int{0, 1, 2}},
+		{Nodes: 2, Order: []int{2, 1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores of nodes 0-1 (0..15) must keep reordered ranks 0..15; the
+	// second segment keeps 16..31.
+	for old := 0; old < 16; old++ {
+		if nr := c.NewRank(old); nr < 0 || nr >= 16 {
+			t.Errorf("segment-1 core %d escaped to rank %d", old, nr)
+		}
+	}
+	for old := 16; old < 32; old++ {
+		if nr := c.NewRank(old); nr < 16 || nr >= 32 {
+			t.Errorf("segment-2 core %d escaped to rank %d", old, nr)
+		}
+	}
+	// Segment 1 is spread: consecutive reordered ranks alternate nodes.
+	if c.OldRank(0) == c.OldRank(1)/8*8 && c.OldRank(1) < 8 {
+		t.Error("segment 1 does not look spread")
+	}
+	// Segment 2 is packed: the identity within its range.
+	for old := 16; old < 32; old++ {
+		if c.NewRank(old) != old {
+			t.Errorf("packed segment moved rank %d to %d", old, c.NewRank(old))
+		}
+	}
+}
+
+func TestCompositeSpreadSegmentLayout(t *testing.T) {
+	h := topology.MustNew(4, 2, 4)
+	c, err := NewComposite(h, []Segment{
+		{Nodes: 2, Order: []int{0, 1, 2}},
+		{Nodes: 2, Order: []int{2, 1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the spread segment (hierarchy ⟦2,2,4⟧, order [0,1,2]), old rank 1
+	// (core 1 of node 0) gets rank 4, exactly as in Figure 2a.
+	if got := c.NewRank(1); got != 4 {
+		t.Errorf("spread segment NewRank(1) = %d, want 4", got)
+	}
+}
+
+func TestCompositeSingleNodeSegment(t *testing.T) {
+	h := topology.MustNew(3, 2, 4)
+	c, err := NewComposite(h, []Segment{
+		{Nodes: 1, Order: []int{0, 1}},    // per-node hierarchy ⟦2,4⟧
+		{Nodes: 2, Order: []int{2, 1, 0}}, // ⟦2,2,4⟧
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := make([]int, c.Size())
+	for old := range tab {
+		tab[old] = c.NewRank(old)
+	}
+	if !perm.IsPermutation(tab) {
+		t.Fatal("single-node segment broke the bijection")
+	}
+	// Within node 0 the ⟦2,4⟧ spread order maps core 1 to rank 2
+	// (sockets vary fastest: [0,1] means socket fastest... core 1 is
+	// socket 0 core 1 → new rank 0 + 2·1 = 2).
+	if got := c.NewRank(1); got != 2 {
+		t.Errorf("single-node segment NewRank(1) = %d, want 2", got)
+	}
+}
+
+func TestCompositeErrors(t *testing.T) {
+	h := topology.MustNew(4, 2, 4)
+	if _, err := NewComposite(h, nil); err == nil {
+		t.Error("empty segments accepted")
+	}
+	if _, err := NewComposite(h, []Segment{{Nodes: 3, Order: []int{0, 1, 2}}}); err == nil {
+		t.Error("short segment coverage accepted")
+	}
+	if _, err := NewComposite(h, []Segment{{Nodes: 0, Order: []int{0, 1, 2}}, {Nodes: 4, Order: []int{0, 1, 2}}}); err == nil {
+		t.Error("zero-node segment accepted")
+	}
+	if _, err := NewComposite(h, []Segment{{Nodes: 4, Order: []int{0, 1}}}); err == nil {
+		t.Error("wrong-depth order accepted")
+	}
+}
+
+func TestVariableSubcomms(t *testing.T) {
+	color, key, err := VariableSubcomms(10, []int{4, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantColor := []int{0, 0, 0, 0, 1, 1, 2, 2, 2, 2}
+	wantKey := []int{0, 1, 2, 3, 0, 1, 0, 1, 2, 3}
+	for i := range wantColor {
+		if color[i] != wantColor[i] || key[i] != wantKey[i] {
+			t.Fatalf("rank %d: color %d key %d, want %d %d",
+				i, color[i], key[i], wantColor[i], wantKey[i])
+		}
+	}
+}
+
+func TestVariableSubcommsErrors(t *testing.T) {
+	if _, _, err := VariableSubcomms(10, []int{4, 4}); err == nil {
+		t.Error("short sizes accepted")
+	}
+	if _, _, err := VariableSubcomms(4, []int{4, 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package reorder
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+func TestNewRankMatchesTable1(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	ro, err := New(h, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ro.NewRank(10); got != 9 {
+		t.Errorf("NewRank(10) = %d, want 9", got)
+	}
+	if got := ro.SplitKey(10); got != 9 {
+		t.Errorf("SplitKey(10) = %d, want 9", got)
+	}
+	if got := ro.OldRank(9); got != 10 {
+		t.Errorf("OldRank(9) = %d, want 10", got)
+	}
+}
+
+func TestBindingIsInverse(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	for _, sigma := range perm.All(3) {
+		ro, err := New(h, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := ro.Binding()
+		for newRank, core := range b {
+			if ro.NewRank(core) != newRank {
+				t.Errorf("sigma=%v: binding[%d]=%d but NewRank(%d)=%d",
+					sigma, newRank, core, core, ro.NewRank(core))
+			}
+		}
+	}
+}
+
+func TestSubcommColoring(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	ro, err := New(h, []int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ro.NumSubcomms(4)
+	if err != nil || n != 4 {
+		t.Fatalf("NumSubcomms = %d, %v", n, err)
+	}
+	// Quotient colouring: reordered ranks 0..3 share colour 0.
+	for newRank := 0; newRank < 16; newRank++ {
+		if got := ro.SubcommColor(newRank, 4); got != newRank/4 {
+			t.Errorf("color(%d) = %d", newRank, got)
+		}
+		if got := ro.SubcommRank(newRank, 4); got != newRank%4 {
+			t.Errorf("subrank(%d) = %d", newRank, got)
+		}
+	}
+	if _, err := ro.NumSubcomms(3); err == nil {
+		t.Error("non-dividing communicator size accepted")
+	}
+}
+
+func TestOrderErrors(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	if _, err := New(h, []int{0, 0, 1}); err == nil {
+		t.Error("invalid order accepted")
+	}
+	if _, err := New(h, []int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+}
+
+func TestRankfileRoundTrip(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	ro, err := New(h, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ro.Rankfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	binding, err := ParseRankfile(&buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ro.Binding()
+	for i := range want {
+		if binding[i] != want[i] {
+			t.Errorf("binding[%d] = %d, want %d", i, binding[i], want[i])
+		}
+	}
+}
+
+func TestRankfileFormat(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	ro, err := New(h, []int{2, 1, 0}) // identity enumeration
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ro.Rankfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("%d rankfile lines", len(lines))
+	}
+	if lines[0] != "rank 0=node0 slot=0" {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if lines[9] != "rank 9=node1 slot=1" {
+		t.Errorf("line 9 = %q", lines[9])
+	}
+}
+
+func TestParseRankfileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "hello world\n"},
+		{"duplicate", "rank 0=node0 slot=0\nrank 0=node0 slot=1\n"},
+		{"missing", "rank 1=node0 slot=1\n"},
+		{"slot range", "rank 0=node0 slot=99\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ParseRankfile(strings.NewReader(c.in), 8); err == nil {
+			t.Errorf("%s: ParseRankfile should fail", c.name)
+		}
+	}
+	if _, err := ParseRankfile(strings.NewReader("rank 0=node0 slot=0\n"), 0); err == nil {
+		t.Error("zero coresPerNode accepted")
+	}
+}
+
+func TestParseRankfileComments(t *testing.T) {
+	in := "# a comment\n\nrank 0=node0 slot=3\nrank 1=node1 slot=0\n"
+	b, err := ParseRankfile(strings.NewReader(in), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 3 || b[1] != 8 {
+		t.Errorf("binding = %v", b)
+	}
+}
+
+func TestOrderName(t *testing.T) {
+	if got := OrderName([]int{2, 1, 0, 3}); got != "2-1-0-3" {
+		t.Errorf("OrderName = %q", got)
+	}
+}

@@ -1,0 +1,345 @@
+// Package sim provides the discrete-event simulation engine underneath the
+// simulated cluster: a virtual clock, a time-ordered event queue, and
+// process goroutines that block on simulated operations and are resumed by
+// the scheduler when their operation completes.
+//
+// The engine is conservative and deterministic in its results: events fire
+// in (time, sequence) order, and although processes woken at the same
+// virtual instant execute concurrently as goroutines, all simulation state
+// is mutated under the engine lock and operation completion times are pure
+// functions of the set of outstanding operations.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// ErrDeadlock is returned by Run when processes are blocked but no event is
+// pending — e.g. a Recv whose matching Send never arrives.
+var ErrDeadlock = errors.New("sim: deadlock — processes blocked with no pending event")
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Engine is a discrete-event simulation. Create with NewEngine, add
+// processes with Spawn, then call Run.
+type Engine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when running drops to zero
+	now     float64
+	seq     uint64
+	events  eventHeap
+	running int // process goroutines currently executing user code
+	procs   []*Process
+	stopped bool
+	failure error
+}
+
+// NewEngine returns an empty engine at virtual time 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Now returns the current virtual time in seconds. Safe to call from
+// process goroutines and event callbacks.
+func (e *Engine) Now() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// At schedules fn to run at virtual time t (clamped to now). fn runs with
+// the engine lock held; it must not block and must not call At-locking
+// methods — use at() conventions: schedule further events with atLocked.
+// External callers use At before Run or from process context.
+func (e *Engine) At(t float64, fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.atLocked(t, fn)
+}
+
+func (e *Engine) atLocked(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtLocked schedules fn at time t without acquiring the engine lock. It
+// must only be called from an event callback (which already runs with the
+// lock held); calling it from any other context is a data race.
+func (e *Engine) AtLocked(t float64, fn func()) { e.atLocked(t, fn) }
+
+// NowLocked returns the virtual time without locking; like AtLocked it is
+// only for use inside event callbacks.
+func (e *Engine) NowLocked() float64 { return e.now }
+
+// Process is a simulated thread of execution. Its methods must only be
+// called from the goroutine running the process body.
+type Process struct {
+	engine *Engine
+	name   string
+	wake   chan float64
+	done   bool
+}
+
+// Name returns the process name given to Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Process) Engine() *Engine { return p.engine }
+
+// Now returns the current virtual time.
+func (p *Process) Now() float64 { return p.engine.Now() }
+
+// Spawn registers a process whose body starts executing at time 0 when Run
+// is called. The body runs in its own goroutine; when it returns, the
+// process is finished.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := &Process{engine: e, name: name, wake: make(chan float64, 1)}
+	e.procs = append(e.procs, p)
+	e.running++
+	go func() {
+		<-p.wake // wait for Run to release the process
+		defer func() {
+			if r := recover(); r != nil {
+				e.mu.Lock()
+				if e.failure == nil {
+					e.failure = fmt.Errorf("sim: process %q panicked: %v\n%s", name, r, debug.Stack())
+				}
+				p.done = true
+				e.running--
+				e.cond.Signal()
+				e.mu.Unlock()
+			}
+		}()
+		body(p)
+		e.mu.Lock()
+		p.done = true
+		e.running--
+		e.cond.Signal()
+		e.mu.Unlock()
+	}()
+	return p
+}
+
+// block parks the calling process until an event wakes it via unblock.
+// The engine lock must be held on entry; it is released while parked and
+// re-acquired before returning. Returns the wake time.
+func (p *Process) block() float64 {
+	e := p.engine
+	e.running--
+	e.cond.Signal()
+	e.mu.Unlock()
+	t := <-p.wake
+	e.mu.Lock()
+	return t
+}
+
+// unblock marks the process runnable at the current virtual time. Must be
+// called with the engine lock held (typically from an event callback).
+func (p *Process) unblock() {
+	e := p.engine
+	e.running++
+	p.wake <- e.now
+}
+
+// Wait advances the process's local time by d seconds of pure delay.
+func (p *Process) Wait(d float64) {
+	if d < 0 {
+		panic("sim: negative wait")
+	}
+	e := p.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.atLocked(e.now+d, p.unblock)
+	p.block()
+}
+
+// WaitUntil blocks the process until the given virtual time (no-op if in
+// the past).
+func (p *Process) WaitUntil(t float64) {
+	e := p.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t <= e.now {
+		return
+	}
+	e.atLocked(t, p.unblock)
+	p.block()
+}
+
+// Condition is a simulated one-shot condition: processes can block on it
+// with Await, callbacks can be chained with OnFire, and it is fired exactly
+// once by an event callback or another process. Fire may precede Await;
+// Await then returns immediately. Multiple processes may Await the same
+// condition.
+type Condition struct {
+	engine    *Engine
+	fired     bool
+	waiters   []*Process
+	callbacks []func()
+}
+
+// NewCondition returns a one-shot condition on the engine.
+func (e *Engine) NewCondition() *Condition { return &Condition{engine: e} }
+
+// FireLocked fires the condition; the engine lock must be held. Chained
+// callbacks run immediately (still under the lock), then all waiting
+// processes are released at the current virtual time.
+func (c *Condition) FireLocked() {
+	if c.fired {
+		return
+	}
+	c.fired = true
+	for _, fn := range c.callbacks {
+		fn()
+	}
+	c.callbacks = nil
+	for _, w := range c.waiters {
+		w.unblock()
+	}
+	c.waiters = nil
+}
+
+// OnFire registers fn to run (under the engine lock) when the condition
+// fires; if it has already fired, fn runs immediately. Safe from process
+// context.
+func (c *Condition) OnFire(fn func()) {
+	c.engine.mu.Lock()
+	defer c.engine.mu.Unlock()
+	c.OnFireLocked(fn)
+}
+
+// OnFireLocked is OnFire for use inside event callbacks (lock held).
+func (c *Condition) OnFireLocked(fn func()) {
+	if c.fired {
+		fn()
+		return
+	}
+	c.callbacks = append(c.callbacks, fn)
+}
+
+// Fire fires the condition, waking the awaiting process at the current
+// virtual time.
+func (c *Condition) Fire() {
+	c.engine.mu.Lock()
+	defer c.engine.mu.Unlock()
+	c.FireLocked()
+}
+
+// Fired reports whether the condition has fired.
+func (c *Condition) Fired() bool {
+	c.engine.mu.Lock()
+	defer c.engine.mu.Unlock()
+	return c.fired
+}
+
+// Await blocks the process until the condition fires.
+func (c *Condition) Await(p *Process) {
+	e := c.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c.fired {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+// AwaitAll blocks the process until every condition has fired.
+func AwaitAll(p *Process, conds ...*Condition) {
+	for _, c := range conds {
+		c.Await(p)
+	}
+}
+
+// Run executes the simulation until every spawned process has finished and
+// the event queue is empty. It returns ErrDeadlock if processes remain
+// blocked with no pending events, or the first process panic converted to
+// an error by a recover in the caller (panics propagate).
+func (e *Engine) Run() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return errors.New("sim: engine already run")
+	}
+	// Release all processes at time 0.
+	for _, p := range e.procs {
+		p.wake <- 0
+	}
+	for {
+		// Wait until every runnable process has blocked or finished.
+		for e.running > 0 {
+			e.cond.Wait()
+		}
+		if e.failure != nil {
+			err := e.failure
+			e.stopped = true
+			return err
+		}
+		if len(e.events) == 0 {
+			allDone := true
+			for _, p := range e.procs {
+				if !p.done {
+					allDone = false
+					break
+				}
+			}
+			e.stopped = true
+			if !allDone {
+				var blocked []string
+				for _, p := range e.procs {
+					if !p.done {
+						blocked = append(blocked, p.name)
+						if len(blocked) >= 8 {
+							break
+						}
+					}
+				}
+				return fmt.Errorf("%w (first blocked: %v)", ErrDeadlock, blocked)
+			}
+			return nil
+		}
+		// Advance to the next event time and fire every event at it.
+		next := e.events.peek().at
+		e.now = next
+		for len(e.events) > 0 && e.events.peek().at == next {
+			ev := heap.Pop(&e.events).(*event)
+			ev.fn()
+		}
+	}
+}

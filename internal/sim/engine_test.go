@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWaitAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var end float64
+	e.Spawn("p", func(p *Process) {
+		p.Wait(1.5)
+		p.Wait(2.5)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 4.0 {
+		t.Errorf("end time = %v, want 4.0", end)
+	}
+	if e.Now() != 4.0 {
+		t.Errorf("engine time = %v, want 4.0", e.Now())
+	}
+}
+
+func TestTwoProcessesInterleave(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	record := func(s string) { trace = append(trace, s) }
+	e.Spawn("a", func(p *Process) {
+		p.Wait(1)
+		record("a@1")
+		p.Wait(2)
+		record("a@3")
+	})
+	e.Spawn("b", func(p *Process) {
+		p.Wait(2)
+		record("b@2")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a@1", "b@2", "a@3"}
+	if len(trace) != 3 {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Errorf("trace = %v, want %v", trace, want)
+			break
+		}
+	}
+}
+
+func TestEventsFireInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 11) }) // same time: FIFO by seq
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestConditionFireBeforeAwait(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCondition()
+	e.At(1, func() { c.FireLocked() })
+	var at float64
+	e.Spawn("p", func(p *Process) {
+		p.Wait(5)
+		c.Await(p) // already fired: returns immediately
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Errorf("await returned at %v, want 5", at)
+	}
+	if !c.Fired() {
+		t.Error("condition not fired")
+	}
+}
+
+func TestConditionAwaitThenFire(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCondition()
+	e.At(7, func() { c.FireLocked() })
+	var at float64
+	e.Spawn("p", func(p *Process) {
+		c.Await(p)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 7 {
+		t.Errorf("await returned at %v, want 7", at)
+	}
+}
+
+func TestAwaitAll(t *testing.T) {
+	e := NewEngine()
+	c1, c2, c3 := e.NewCondition(), e.NewCondition(), e.NewCondition()
+	e.At(1, func() { c2.FireLocked() })
+	e.At(4, func() { c1.FireLocked() })
+	e.At(2, func() { c3.FireLocked() })
+	var at float64
+	e.Spawn("p", func(p *Process) {
+		AwaitAll(p, c1, c2, c3)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 4 {
+		t.Errorf("AwaitAll returned at %v, want 4", at)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCondition() // never fired
+	e.Spawn("stuck", func(p *Process) {
+		c.Await(p)
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("Run = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestProcessPanicBecomesError(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Process) {
+		p.Wait(1)
+		panic("kaboom")
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run should report the panic")
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Spawn("p", func(p *Process) {
+		p.WaitUntil(3)
+		times = append(times, p.Now())
+		p.WaitUntil(1) // in the past: no-op
+		times = append(times, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 3 || times[1] != 3 {
+		t.Errorf("times = %v, want [3 3]", times)
+	}
+}
+
+func TestManyProcesses(t *testing.T) {
+	e := NewEngine()
+	const n = 500
+	var total atomic.Int64
+	for i := 0; i < n; i++ {
+		d := float64(i%17) * 0.001
+		e.Spawn("p", func(p *Process) {
+			p.Wait(d)
+			p.Wait(d)
+			total.Add(1)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != n {
+		t.Errorf("%d processes finished, want %d", total.Load(), n)
+	}
+	if want := 2 * 16 * 0.001; math.Abs(e.Now()-want) > 1e-12 {
+		t.Errorf("final time %v, want %v", e.Now(), want)
+	}
+}
+
+func TestNegativeWaitPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Process) { p.Wait(-1) })
+	if err := e.Run(); err == nil {
+		t.Error("negative wait should fail the run")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestProcessName(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("rank-7", func(p *Process) {
+		if p.Name() != "rank-7" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Engine() != e {
+			t.Error("Engine accessor mismatch")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Processes communicating through conditions must see a consistent clock:
+// the firing process's time is the awaiting process's wake time.
+func TestConditionHandshakeTime(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCondition()
+	var fireAt, wakeAt float64
+	e.Spawn("firer", func(p *Process) {
+		p.Wait(2.5)
+		fireAt = p.Now()
+		c.Fire()
+	})
+	e.Spawn("waiter", func(p *Process) {
+		c.Await(p)
+		wakeAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fireAt != 2.5 || wakeAt != 2.5 {
+		t.Errorf("fireAt=%v wakeAt=%v, want both 2.5", fireAt, wakeAt)
+	}
+}
+
+func BenchmarkWaitChain(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(0.001)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package slurm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mixedradix"
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+func TestParseDistribution(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Distribution
+	}{
+		{"block:block", Distribution{Node: Block, Socket: Block}},
+		{"block:cyclic", Distribution{Node: Block, Socket: Cyclic}},
+		{"cyclic:cyclic", Distribution{Node: Cyclic, Socket: Cyclic}},
+		{"cyclic", Distribution{Node: Cyclic, Socket: Cyclic}},
+		{"plane=4", Distribution{Node: Plane, PlaneSize: 4}},
+		{"  BLOCK:Block ", Distribution{Node: Block, Socket: Block}},
+	}
+	for _, c := range cases {
+		got, err := ParseDistribution(c.in)
+		if err != nil {
+			t.Errorf("ParseDistribution(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDistribution(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "foo", "block:foo", "plane=", "plane=0", "plane=x"} {
+		if _, err := ParseDistribution(bad); err == nil {
+			t.Errorf("ParseDistribution(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	d := Distribution{Node: Plane, PlaneSize: 8}
+	if d.String() != "plane=8" {
+		t.Errorf("String = %q", d.String())
+	}
+	d = Distribution{Node: Block, Socket: Cyclic}
+	if d.String() != "block:cyclic" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+// Figure 2 captions: each achievable order maps to a --distribution value;
+// order [1,0,2] maps to none.
+func TestFigure2SlurmCaptions(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	want := map[string]string{
+		"0-1-2": "cyclic:cyclic",
+		"0-2-1": "cyclic:block",
+		"1-2-0": "block:cyclic",
+		"2-0-1": "plane=4",
+		"2-1-0": "block:block",
+	}
+	for name, dist := range want {
+		sigma, err := perm.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := DistributionForOrder(h, sigma)
+		if !ok {
+			t.Errorf("order %s: no distribution found, want %s", name, dist)
+			continue
+		}
+		if got.String() != dist {
+			t.Errorf("order %s: distribution %s, want %s", name, got, dist)
+		}
+	}
+	sigma := []int{1, 0, 2}
+	if d, ok := DistributionForOrder(h, sigma); ok {
+		t.Errorf("order [1,0,2] should not be expressible, got %s", d)
+	}
+}
+
+// The paper's §4.2 statement: Hydra's Slurm default block:cyclic equals
+// order [1,3,2,0] on ⟦nodes,2,2,8⟧.
+func TestHydraDefaultOrder(t *testing.T) {
+	h := topology.MustNew(4, 2, 2, 8) // small Hydra
+	d := Distribution{Node: Block, Socket: Cyclic}
+	got, err := d.Binding(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := mixedradix.NewReorderer(h.Arities(), []int{1, 3, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ro.InverseTable()) {
+		t.Error("block:cyclic != order [1,3,2,0] on Hydra-shaped hierarchy")
+	}
+}
+
+// LUMI's default block:block equals the identity order [4,3,2,1,0].
+func TestLUMIDefaultOrder(t *testing.T) {
+	h := topology.MustNew(2, 2, 4, 2, 8)
+	d := Distribution{Node: Block, Socket: Block}
+	got, err := d.Binding(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := mixedradix.NewReorderer(h.Arities(), []int{4, 3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ro.InverseTable()) {
+		t.Error("block:block != identity order on LUMI-shaped hierarchy")
+	}
+}
+
+func TestBindingIsPermutation(t *testing.T) {
+	h := topology.MustNew(4, 2, 2, 4)
+	dists := []Distribution{
+		{Node: Block, Socket: Block},
+		{Node: Block, Socket: Cyclic},
+		{Node: Cyclic, Socket: Block},
+		{Node: Cyclic, Socket: Cyclic},
+		{Node: Plane, Socket: Block, PlaneSize: 4},
+		{Node: Plane, Socket: Cyclic, PlaneSize: 2},
+	}
+	for _, d := range dists {
+		b, err := d.Binding(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !perm.IsPermutation(b) {
+			t.Errorf("%s: binding is not a bijection: %v", d, b)
+		}
+	}
+}
+
+func TestBindingErrors(t *testing.T) {
+	h := topology.MustNew(4)
+	if _, err := (Distribution{Node: Block, Socket: Block}).Binding(h); err == nil {
+		t.Error("depth-1 hierarchy accepted")
+	}
+	h2 := topology.MustNew(2, 2, 4)
+	if _, err := (Distribution{Node: Plane}).Binding(h2); err == nil {
+		t.Error("plane without size accepted")
+	}
+}
+
+// Algorithm 3 examples from §4.3 (Figure 9, LUMI node ⟦2,4,2,8⟧):
+// with 2 processes, order [0,1,2,3] selects the first core of each socket;
+// with 8, orders [0,1,2,3] and [1,0,2,3] select the first core of each NUMA.
+func TestMapCPUFigure9Examples(t *testing.T) {
+	node := topology.MustNew(2, 4, 2, 8)
+	l, err := MapCPU(node, []int{0, 1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l, []int{0, 64}) {
+		t.Errorf("2-proc [0,1,2,3] = %v, want [0 64]", l)
+	}
+	for _, sigma := range [][]int{{0, 1, 2, 3}, {1, 0, 2, 3}} {
+		l, err := MapCPU(node, sigma, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{0, 16, 32, 48, 64, 80, 96, 112}
+		if !reflect.DeepEqual(SelectionSet(l), want) {
+			t.Errorf("8-proc %v selection = %v, want %v", sigma, SelectionSet(l), want)
+		}
+	}
+	// Figure 9's 4-proc [2,1,0,3] uses one core per L3 of the two first
+	// NUMA domains of socket 0: cores 0, 8, 16, 24.
+	l, err = MapCPU(node, []int{2, 1, 0, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(SelectionSet(l), []int{0, 8, 16, 24}) {
+		t.Errorf("4-proc [2,1,0,3] selection = %v", SelectionSet(l))
+	}
+}
+
+func TestMapCPUFullSelectionIsPermutation(t *testing.T) {
+	node := topology.MustNew(2, 4, 2, 8)
+	for _, sigma := range perm.All(4) {
+		l, err := MapCPU(node, sigma, node.Size())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !perm.IsPermutation(l) {
+			t.Errorf("sigma=%v: full map_cpu list is not a permutation", sigma)
+		}
+	}
+}
+
+func TestMapCPUEachCoreOnce(t *testing.T) {
+	node := topology.MustNew(2, 4, 2, 8)
+	for _, sigma := range perm.All(4) {
+		for _, n := range []int{2, 4, 8, 16, 32, 64, 128} {
+			l, err := MapCPU(node, sigma, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(l) != n {
+				t.Fatalf("sigma=%v n=%d: %d cores", sigma, n, len(l))
+			}
+			seen := map[int]bool{}
+			for _, c := range l {
+				if seen[c] {
+					t.Fatalf("sigma=%v n=%d: duplicate core %d", sigma, n, c)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+func TestMapCPUErrors(t *testing.T) {
+	node := topology.MustNew(2, 4, 2, 8)
+	if _, err := MapCPU(node, []int{0, 1, 2, 3}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MapCPU(node, []int{0, 1, 2, 3}, 1000); err == nil {
+		t.Error("oversize n accepted")
+	}
+	if _, err := MapCPU(node, []int{0, 1, 2}, 4); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := MapCPU(node, []int{0, 0, 1, 2}, 4); err == nil {
+		t.Error("invalid order accepted")
+	}
+}
+
+func TestFormatMapCPU(t *testing.T) {
+	if got := FormatMapCPU([]int{0, 16, 8}); got != "map_cpu:0,16,8" {
+		t.Errorf("FormatMapCPU = %q", got)
+	}
+}
+
+func TestInducedHierarchy(t *testing.T) {
+	node := topology.MustNew(2, 4, 2, 8)
+	cases := []struct {
+		name  string
+		cores []int
+		want  []int
+	}{
+		// §3.4 example: all cores of the first socket on both "nodes" —
+		// here: one core per L3 across socket 0 → ⟦4, 2⟧.
+		{"one per l3 socket0", []int{0, 8, 16, 24, 32, 40, 48, 56}, []int{4, 2}},
+		{"one per socket", []int{0, 64}, []int{2}},
+		{"two per l3 of numa0", []int{0, 1, 8, 9}, []int{2, 2}},
+		{"full node", rangeInts(128), []int{2, 4, 2, 8}},
+		{"single core", []int{5}, nil},
+		{"whole numa", rangeInts(16), []int{2, 8}},
+	}
+	for _, c := range cases {
+		got, err := InducedHierarchy(node, c.cores)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: induced = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestInducedHierarchyErrors(t *testing.T) {
+	node := topology.MustNew(2, 4, 2, 8)
+	if _, err := InducedHierarchy(node, nil); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := InducedHierarchy(node, []int{0, 0}); err == nil {
+		t.Error("duplicate selection accepted")
+	}
+	if _, err := InducedHierarchy(node, []int{0, 1, 8}); err == nil {
+		t.Error("non-uniform selection accepted")
+	}
+	if _, err := InducedHierarchy(node, []int{0, 999}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	// Same sizes but different sub-structure: {0,1} in one L3 vs {8,16}
+	// spanning L3s of two NUMAs.
+	if _, err := InducedHierarchy(node, []int{0, 1, 64, 72}); err == nil {
+		t.Error("structurally different selection accepted")
+	}
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+)
+
+func TestStudyQuantifiesTheHeadlines(t *testing.T) {
+	cfg := bench.Config{
+		Spec:      cluster.Hydra(16, 1),
+		Hierarchy: cluster.HydraHierarchy(16),
+		CommSize:  16,
+		Coll:      bench.Alltoall,
+		Iters:     1,
+	}
+	res, err := Run(cfg, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 24 {
+		t.Fatalf("%d rows, want 24", len(res.Rows))
+	}
+	// §4.1.3 quantified: spreading helps a lone communicator…
+	if res.SpreadVsOne < 0.5 {
+		t.Errorf("spread↔one-comm correlation %v, want strongly positive", res.SpreadVsOne)
+	}
+	// …and hurts when every communicator runs (contention).
+	if res.SpreadVsAll > -0.5 {
+		t.Errorf("spread↔all-comm correlation %v, want strongly negative", res.SpreadVsAll)
+	}
+	out := res.Render()
+	for _, want := range []string{"order study", "correlations", "0-1-2-3", "3-2-1-0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}
+
+func TestStudyRingCostMattersForAllreduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24-order sweep")
+	}
+	// For the ring-structured Allreduce, a lower ring cost means cheaper
+	// neighbour hops: ring cost must anticorrelate with bandwidth under
+	// contention (Figure 6's "rank order inside communicators matters").
+	cfg := bench.Config{
+		Spec:      cluster.Hydra(8, 1),
+		Hierarchy: cluster.HydraHierarchy(8),
+		CommSize:  64,
+		Coll:      bench.Allreduce,
+		Iters:     1,
+	}
+	res, err := Run(cfg, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RingVsAll > -0.3 {
+		t.Errorf("ring-cost↔all-comm correlation %v, want negative", res.RingVsAll)
+	}
+}

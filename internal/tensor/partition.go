@@ -1,0 +1,143 @@
+// Medium-grained partitioning: the 3D block decomposition SPLATT uses to
+// distribute a tensor over a p₁×p₂×p₃ process grid. Each process owns the
+// block of nonzeros whose mode-m indices fall in its grid slice; the layer
+// communicators of the distributed CPD group processes sharing a grid
+// coordinate.
+
+package tensor
+
+import "fmt"
+
+// Grid is a 3D process grid.
+type Grid [Order]int
+
+// Size returns the number of processes of the grid.
+func (g Grid) Size() int { return g[0] * g[1] * g[2] }
+
+// Check validates the grid.
+func (g Grid) Check() error {
+	for m, v := range g {
+		if v <= 0 {
+			return fmt.Errorf("tensor: grid dimension %d is %d", m, v)
+		}
+	}
+	return nil
+}
+
+// CoordOf returns the grid coordinate of a process rank, with the last
+// grid dimension varying fastest (rank = i·p₂·p₃ + j·p₃ + k).
+func (g Grid) CoordOf(rank int) [Order]int {
+	return [Order]int{
+		rank / (g[1] * g[2]),
+		(rank / g[2]) % g[1],
+		rank % g[2],
+	}
+}
+
+// RankOf is the inverse of CoordOf.
+func (g Grid) RankOf(c [Order]int) int {
+	return c[0]*g[1]*g[2] + c[1]*g[2] + c[2]
+}
+
+// LayerIndex returns, for the given mode, which layer communicator the
+// rank belongs to (processes with equal grid coordinate along the mode)
+// and its rank within that layer.
+func (g Grid) LayerIndex(rank, mode int) (layer, inLayer int) {
+	c := g.CoordOf(rank)
+	layer = c[mode]
+	// Flatten the other two coordinates in mode order.
+	m1 := (mode + 1) % Order
+	m2 := (mode + 2) % Order
+	inLayer = c[m1]*g[m2] + c[m2]
+	return layer, inLayer
+}
+
+// LayerSize returns the number of processes per layer of a mode.
+func (g Grid) LayerSize(mode int) int { return g.Size() / g[mode] }
+
+// Partition holds the per-process nonzero counts of a blocked tensor.
+type Partition struct {
+	Grid Grid
+	// NNZ[rank] is the number of nonzeros in the process's block.
+	NNZ []int
+	// RowsOwned[m][rank] is the number of mode-m factor rows whose slice
+	// intersects the process's layer (dims[m]/grid[m], block distributed).
+	RowsOwned [Order][]int
+	// DistinctRows[m][rank] is the number of distinct mode-m indices in the
+	// process's block — the factor rows its fold/expand actually exchanges.
+	DistinctRows [Order][]int
+}
+
+// PartitionTensor assigns each nonzero to the process owning its block
+// under an even block split of every mode.
+func PartitionTensor(t *Tensor, g Grid) (*Partition, error) {
+	if err := g.Check(); err != nil {
+		return nil, err
+	}
+	if err := t.Check(); err != nil {
+		return nil, err
+	}
+	p := &Partition{Grid: g, NNZ: make([]int, g.Size())}
+	blockOf := func(idx int32, dim, parts int) int {
+		// Even block split: boundaries at dim·i/parts.
+		b := int(int64(idx) * int64(parts) / int64(dim))
+		if b >= parts {
+			b = parts - 1
+		}
+		return b
+	}
+	distinct := [Order][]map[int32]struct{}{}
+	for m := 0; m < Order; m++ {
+		distinct[m] = make([]map[int32]struct{}, g.Size())
+	}
+	for _, c := range t.Inds {
+		var gc [Order]int
+		for m := 0; m < Order; m++ {
+			gc[m] = blockOf(c[m], t.Dims[m], g[m])
+		}
+		rank := g.RankOf(gc)
+		p.NNZ[rank]++
+		for m := 0; m < Order; m++ {
+			if distinct[m][rank] == nil {
+				distinct[m][rank] = make(map[int32]struct{})
+			}
+			distinct[m][rank][c[m]] = struct{}{}
+		}
+	}
+	for m := 0; m < Order; m++ {
+		p.DistinctRows[m] = make([]int, g.Size())
+		for rank := range p.DistinctRows[m] {
+			p.DistinctRows[m][rank] = len(distinct[m][rank])
+		}
+	}
+	for m := 0; m < Order; m++ {
+		p.RowsOwned[m] = make([]int, g.Size())
+		for rank := 0; rank < g.Size(); rank++ {
+			gc := g.CoordOf(rank)
+			lo := t.Dims[m] * gc[m] / g[m]
+			hi := t.Dims[m] * (gc[m] + 1) / g[m]
+			p.RowsOwned[m][rank] = hi - lo
+		}
+	}
+	return p, nil
+}
+
+// MaxNNZ returns the heaviest block (load imbalance diagnostic).
+func (p *Partition) MaxNNZ() int {
+	mx := 0
+	for _, n := range p.NNZ {
+		if n > mx {
+			mx = n
+		}
+	}
+	return mx
+}
+
+// TotalNNZ returns the sum of all blocks.
+func (p *Partition) TotalNNZ() int {
+	s := 0
+	for _, n := range p.NNZ {
+		s += n
+	}
+	return s
+}

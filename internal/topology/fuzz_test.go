@@ -1,0 +1,33 @@
+package topology
+
+import "testing"
+
+// FuzzParse checks that hierarchy parsing never panics and accepted
+// hierarchies are internally consistent.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"2,2,4", "2x2x4", "[16, 2, 2, 8]", "node:2,core:4", "", "1,2", "a,b", "2,,4"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		h, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if h.Depth() == 0 || h.Size() <= 1 {
+			t.Fatalf("Parse(%q) accepted degenerate hierarchy %v", s, h)
+		}
+		for _, a := range h.Arities() {
+			if a <= 1 {
+				t.Fatalf("Parse(%q) accepted arity %d", s, a)
+			}
+		}
+		// Coordinates/Rank must round-trip for a few ranks.
+		if h.Size() < 1<<20 {
+			for _, r := range []int{0, h.Size() - 1, h.Size() / 2} {
+				if got := h.Rank(h.Coordinates(r)); got != r {
+					t.Fatalf("Parse(%q): rank %d round-trips to %d", s, r, got)
+				}
+			}
+		}
+	})
+}

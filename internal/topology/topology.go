@@ -1,0 +1,323 @@
+// Package topology models the deeply hierarchical machines the paper
+// targets: a hierarchy is a list of levels, outermost first, each stating
+// how many children every component of that level has — e.g. ⟦2, 2, 4⟧ for
+// 2 nodes × 2 sockets × 4 cores (Figure 1).
+//
+// The package provides parsing and formatting of hierarchy descriptions,
+// coordinate/rank conversion, fake-level manipulation (§3.2: "a socket
+// containing 16 cores can be faked as containing 2 components with 8 cores
+// each"), level naming, and the relative-position queries (first differing
+// level, crossing cost) that the ordering metrics of §3.3 are built on.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mixedradix"
+)
+
+// ErrBadLevel reports an invalid level description.
+var ErrBadLevel = errors.New("topology: invalid level")
+
+// Common level names, outermost to innermost, used when a hierarchy is
+// built without explicit names.
+var defaultNames = []string{"node", "socket", "numa", "l3", "core"}
+
+// Level is one stage of a hierarchy: every component of the enclosing level
+// contains Arity components of this level.
+type Level struct {
+	Name  string
+	Arity int
+}
+
+// Hierarchy is an ordered list of levels, outermost first. The zero value
+// is invalid; use New or Parse.
+type Hierarchy struct {
+	levels []Level
+}
+
+// New builds a hierarchy from arities, outermost first, assigning default
+// level names (the innermost level is always "core"; preceding levels take
+// names from node, socket, numa, l3 as depth allows, falling back to
+// "level<i>" for very deep hierarchies).
+func New(arities ...int) (Hierarchy, error) {
+	if err := mixedradix.CheckHierarchy(arities); err != nil {
+		return Hierarchy{}, err
+	}
+	levels := make([]Level, len(arities))
+	for i, a := range arities {
+		levels[i] = Level{Name: defaultName(i, len(arities)), Arity: a}
+	}
+	return Hierarchy{levels: levels}, nil
+}
+
+// MustNew is New panicking on error, for tests and literals.
+func MustNew(arities ...int) Hierarchy {
+	h, err := New(arities...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NewNamed builds a hierarchy from explicit levels.
+func NewNamed(levels ...Level) (Hierarchy, error) {
+	arities := make([]int, len(levels))
+	for i, l := range levels {
+		arities[i] = l.Arity
+		if l.Name == "" {
+			return Hierarchy{}, fmt.Errorf("%w: level %d has empty name", ErrBadLevel, i)
+		}
+	}
+	if err := mixedradix.CheckHierarchy(arities); err != nil {
+		return Hierarchy{}, err
+	}
+	return Hierarchy{levels: append([]Level(nil), levels...)}, nil
+}
+
+func defaultName(i, depth int) string {
+	if i == depth-1 {
+		return "core"
+	}
+	if i < len(defaultNames)-1 {
+		return defaultNames[i]
+	}
+	return "level" + strconv.Itoa(i)
+}
+
+// Parse reads a hierarchy description. Accepted forms:
+//
+//	"2x2x4"            arities separated by x
+//	"[2, 2, 4]"        bracketed list
+//	"2,2,4"            comma list
+//	"node:2,socket:2,core:4"  named levels
+func Parse(s string) (Hierarchy, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "[")
+	t = strings.TrimSuffix(t, "]")
+	if t == "" {
+		return Hierarchy{}, fmt.Errorf("%w: empty hierarchy %q", ErrBadLevel, s)
+	}
+	sep := ","
+	if strings.Contains(t, "x") && !strings.Contains(t, ",") {
+		sep = "x"
+	}
+	fields := strings.Split(t, sep)
+	named := strings.Contains(t, ":")
+	if named {
+		levels := make([]Level, 0, len(fields))
+		for _, f := range fields {
+			parts := strings.SplitN(strings.TrimSpace(f), ":", 2)
+			if len(parts) != 2 {
+				return Hierarchy{}, fmt.Errorf("%w: %q in %q", ErrBadLevel, f, s)
+			}
+			a, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return Hierarchy{}, fmt.Errorf("%w: arity %q in %q: %v", ErrBadLevel, parts[1], s, err)
+			}
+			levels = append(levels, Level{Name: strings.TrimSpace(parts[0]), Arity: a})
+		}
+		return NewNamed(levels...)
+	}
+	arities := make([]int, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return Hierarchy{}, fmt.Errorf("%w: empty arity in %q", ErrBadLevel, s)
+		}
+		a, err := strconv.Atoi(f)
+		if err != nil {
+			return Hierarchy{}, fmt.Errorf("%w: arity %q in %q: %v", ErrBadLevel, f, s, err)
+		}
+		arities = append(arities, a)
+	}
+	return New(arities...)
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(s string) Hierarchy {
+	h, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Depth returns the number of levels.
+func (h Hierarchy) Depth() int { return len(h.levels) }
+
+// Size returns the total number of cores (leaf components) enumerated.
+func (h Hierarchy) Size() int { return mixedradix.Size(h.Arities()) }
+
+// Arities returns a copy of the level arities, outermost first. This is the
+// mixed-radix base of the paper.
+func (h Hierarchy) Arities() []int {
+	a := make([]int, len(h.levels))
+	for i, l := range h.levels {
+		a[i] = l.Arity
+	}
+	return a
+}
+
+// Levels returns a copy of the levels.
+func (h Hierarchy) Levels() []Level { return append([]Level(nil), h.levels...) }
+
+// Level returns level i (0 = outermost).
+func (h Hierarchy) Level(i int) Level { return h.levels[i] }
+
+// Names returns the level names, outermost first.
+func (h Hierarchy) Names() []string {
+	n := make([]string, len(h.levels))
+	for i, l := range h.levels {
+		n[i] = l.Name
+	}
+	return n
+}
+
+// String renders the hierarchy in the paper's ⟦…⟧ notation.
+func (h Hierarchy) String() string {
+	var b strings.Builder
+	b.WriteString("⟦")
+	for i, l := range h.levels {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.Itoa(l.Arity))
+	}
+	b.WriteString("⟧")
+	return b.String()
+}
+
+// Coordinates returns the hierarchy coordinates of a core (or of the rank
+// initially enumerated onto it), outermost level first — Algorithm 1.
+func (h Hierarchy) Coordinates(rank int) []int {
+	return mixedradix.Decompose(h.Arities(), rank)
+}
+
+// Rank is the inverse of Coordinates for the initial enumeration.
+func (h Hierarchy) Rank(coords []int) int {
+	return mixedradix.Compose(h.Arities(), coords, mixedradix.IdentityOrder(h.Depth()))
+}
+
+// FirstDiffLevel returns the outermost level index at which the coordinates
+// of two ranks differ, or Depth() if the ranks are equal. A result of
+// Depth()-1 means the two ranks share everything but the core — they sit in
+// the same lowest level of the hierarchy.
+func (h Hierarchy) FirstDiffLevel(a, b int) int {
+	if a == b {
+		return h.Depth()
+	}
+	ar := h.Arities()
+	// Walk from the outermost level: the leading mixed-radix digits of a and
+	// b are their quotients by the size of the suffix.
+	suffix := h.Size()
+	for i := 0; i < len(ar); i++ {
+		suffix /= ar[i]
+		if a/suffix != b/suffix {
+			return i
+		}
+		a %= suffix
+		b %= suffix
+	}
+	return h.Depth()
+}
+
+// CrossCost returns the communication cost between two ranks as defined in
+// §3.3: 1 when both sit inside the same lowest hierarchy level, plus 1 for
+// each additional level the communication has to cross. Equal ranks cost 0.
+func (h Hierarchy) CrossCost(a, b int) int {
+	d := h.FirstDiffLevel(a, b)
+	if d == h.Depth() {
+		return 0
+	}
+	return h.Depth() - d
+}
+
+// SplitLevel returns a new hierarchy where level i of arity n is replaced by
+// two levels of arities parts and n/parts — the paper's "fake level"
+// construction. The new outer sub-level keeps the original name with a
+// "-group" suffix; the inner one keeps the original name.
+func (h Hierarchy) SplitLevel(i, parts int) (Hierarchy, error) {
+	if i < 0 || i >= len(h.levels) {
+		return Hierarchy{}, fmt.Errorf("%w: no level %d in %s", ErrBadLevel, i, h)
+	}
+	n := h.levels[i].Arity
+	if parts <= 1 || n%parts != 0 || n/parts <= 1 {
+		return Hierarchy{}, fmt.Errorf("%w: cannot split arity %d into %d parts", ErrBadLevel, n, parts)
+	}
+	levels := make([]Level, 0, len(h.levels)+1)
+	levels = append(levels, h.levels[:i]...)
+	levels = append(levels,
+		Level{Name: h.levels[i].Name + "-group", Arity: parts},
+		Level{Name: h.levels[i].Name, Arity: n / parts})
+	levels = append(levels, h.levels[i+1:]...)
+	return NewNamed(levels...)
+}
+
+// MergeLevels returns a new hierarchy where adjacent levels i and i+1 are
+// merged into one of arity Arity(i)*Arity(i+1), named after level i+1 (the
+// inner, more specific level).
+func (h Hierarchy) MergeLevels(i int) (Hierarchy, error) {
+	if i < 0 || i+1 >= len(h.levels) {
+		return Hierarchy{}, fmt.Errorf("%w: cannot merge at %d in %s", ErrBadLevel, i, h)
+	}
+	levels := make([]Level, 0, len(h.levels)-1)
+	levels = append(levels, h.levels[:i]...)
+	levels = append(levels, Level{
+		Name:  h.levels[i+1].Name,
+		Arity: h.levels[i].Arity * h.levels[i+1].Arity,
+	})
+	levels = append(levels, h.levels[i+2:]...)
+	return NewNamed(levels...)
+}
+
+// Prepend returns the hierarchy with an extra outermost level, e.g. adding
+// the compute-node count above a per-node hierarchy, or network levels
+// above the node level.
+func (h Hierarchy) Prepend(l Level) (Hierarchy, error) {
+	levels := append([]Level{l}, h.levels...)
+	return NewNamed(levels...)
+}
+
+// Sub returns the sub-hierarchy formed by levels [from, to).
+func (h Hierarchy) Sub(from, to int) (Hierarchy, error) {
+	if from < 0 || to > len(h.levels) || from >= to {
+		return Hierarchy{}, fmt.Errorf("%w: Sub(%d, %d) of depth %d", ErrBadLevel, from, to, len(h.levels))
+	}
+	return NewNamed(h.levels[from:to]...)
+}
+
+// ValidateProcessCount checks the paper's constraint (1) of §3.2: the
+// product of all hierarchy arities must equal the number of MPI processes.
+func (h Hierarchy) ValidateProcessCount(nprocs int) error {
+	if h.Size() != nprocs {
+		return fmt.Errorf("topology: hierarchy %s enumerates %d cores but the job has %d processes",
+			h, h.Size(), nprocs)
+	}
+	return nil
+}
+
+// ValidateNetworkPrefix checks the paper's network-hierarchy constraint
+// (§3.2): if the first netLevels levels describe the network, the number of
+// compute nodes must equal the product of those levels times the next level
+// removed — i.e. the nodes must exactly fill the selected switches. Here
+// nodes is the allocated compute-node count and the level at index
+// netLevels is the per-switch node count folded into the description, so
+// the product of levels [0, netLevels] must equal nodes.
+func (h Hierarchy) ValidateNetworkPrefix(netLevels, nodes int) error {
+	if netLevels <= 0 || netLevels >= h.Depth() {
+		return fmt.Errorf("%w: network prefix of %d levels in depth-%d hierarchy", ErrBadLevel, netLevels, h.Depth())
+	}
+	p := 1
+	for i := 0; i <= netLevels-1; i++ {
+		p *= h.levels[i].Arity
+	}
+	if p != nodes {
+		return fmt.Errorf("topology: network prefix %v of %s covers %d nodes, job has %d (nodes must entirely fill the selected switches)",
+			h.Arities()[:netLevels], h, p, nodes)
+	}
+	return nil
+}

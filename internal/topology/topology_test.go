@@ -1,0 +1,308 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	h, err := New(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 3 {
+		t.Errorf("Depth = %d", h.Depth())
+	}
+	if h.Size() != 16 {
+		t.Errorf("Size = %d", h.Size())
+	}
+	if got := h.Arities(); !reflect.DeepEqual(got, []int{2, 2, 4}) {
+		t.Errorf("Arities = %v", got)
+	}
+	if got := h.Names(); !reflect.DeepEqual(got, []string{"node", "socket", "core"}) {
+		t.Errorf("Names = %v", got)
+	}
+	if h.Level(1).Arity != 2 {
+		t.Errorf("Level(1) = %+v", h.Level(1))
+	}
+}
+
+func TestDefaultNamesDeep(t *testing.T) {
+	h := MustNew(16, 2, 4, 2, 8) // LUMI shape
+	want := []string{"node", "socket", "numa", "l3", "core"}
+	if got := h.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+	h6 := MustNew(2, 2, 2, 2, 2, 2)
+	names := h6.Names()
+	if names[5] != "core" || names[4] != "level4" {
+		t.Errorf("deep names = %v", names)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	if _, err := New(2, 1); err == nil {
+		t.Error("arity 1 accepted")
+	}
+	if _, err := NewNamed(Level{Name: "", Arity: 2}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"2x2x4", []int{2, 2, 4}},
+		{"[2, 2, 4]", []int{2, 2, 4}},
+		{"2,2,4", []int{2, 2, 4}},
+		{"16,2,2,8", []int{16, 2, 2, 8}},
+	}
+	for _, c := range cases {
+		h, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(h.Arities(), c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, h.Arities(), c.want)
+		}
+	}
+}
+
+func TestParseNamed(t *testing.T) {
+	h, err := Parse("node:2,socket:2,core:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.Names(), []string{"node", "socket", "core"}) {
+		t.Errorf("Names = %v", h.Names())
+	}
+	if !reflect.DeepEqual(h.Arities(), []int{2, 2, 4}) {
+		t.Errorf("Arities = %v", h.Arities())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "[]", "2xax4", "a:b:c", "node:x", "1,2", "2,,"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	h := MustNew(2, 2, 4)
+	if got := h.String(); got != "⟦2, 2, 4⟧" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCoordinatesRankRoundTrip(t *testing.T) {
+	h := MustNew(16, 2, 2, 8)
+	for r := 0; r < h.Size(); r += 7 {
+		c := h.Coordinates(r)
+		if got := h.Rank(c); got != r {
+			t.Errorf("Rank(Coordinates(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestFirstDiffLevel(t *testing.T) {
+	h := MustNew(2, 2, 4) // Figure 1
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 3}, // same core
+		{0, 1, 2}, // same socket, different core
+		{0, 4, 1}, // same node, different socket
+		{0, 8, 0}, // different node
+		{10, 14, 1},
+		{10, 11, 2},
+		{5, 13, 0},
+	}
+	for _, c := range cases {
+		if got := h.FirstDiffLevel(c.a, c.b); got != c.want {
+			t.Errorf("FirstDiffLevel(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := h.FirstDiffLevel(c.b, c.a); got != c.want {
+			t.Errorf("FirstDiffLevel(%d, %d) not symmetric", c.b, c.a)
+		}
+	}
+}
+
+func TestCrossCost(t *testing.T) {
+	h := MustNew(2, 2, 4)
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1}, // inside lowest level
+		{0, 4, 2}, // crosses socket boundary
+		{0, 8, 3}, // crosses node boundary
+	}
+	for _, c := range cases {
+		if got := h.CrossCost(c.a, c.b); got != c.want {
+			t.Errorf("CrossCost(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// FirstDiffLevel computed by quotients must agree with comparing the
+// coordinate vectors directly.
+func TestFirstDiffLevelProperty(t *testing.T) {
+	h := MustNew(3, 2, 4, 2)
+	n := h.Size()
+	f := func(x, y uint16) bool {
+		a, b := int(x)%n, int(y)%n
+		ca, cb := h.Coordinates(a), h.Coordinates(b)
+		want := h.Depth()
+		for i := range ca {
+			if ca[i] != cb[i] {
+				want = i
+				break
+			}
+		}
+		return h.FirstDiffLevel(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitLevel(t *testing.T) {
+	// Hydra: each 16-core socket faked as 2 groups of 8 (§4, machine descr.)
+	h := MustNew(16, 2, 16)
+	split, err := h.SplitLevel(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(split.Arities(), []int{16, 2, 2, 8}) {
+		t.Errorf("split arities = %v", split.Arities())
+	}
+	if split.Size() != h.Size() {
+		t.Errorf("split changed size: %d != %d", split.Size(), h.Size())
+	}
+	names := split.Names()
+	if names[2] != "core-group" || names[3] != "core" {
+		t.Errorf("split names = %v", names)
+	}
+}
+
+func TestSplitLevelErrors(t *testing.T) {
+	h := MustNew(2, 2, 16)
+	if _, err := h.SplitLevel(5, 2); err == nil {
+		t.Error("split of missing level accepted")
+	}
+	if _, err := h.SplitLevel(2, 3); err == nil {
+		t.Error("non-divisible split accepted")
+	}
+	if _, err := h.SplitLevel(2, 16); err == nil {
+		t.Error("split leaving arity 1 accepted")
+	}
+	if _, err := h.SplitLevel(2, 1); err == nil {
+		t.Error("split into 1 part accepted")
+	}
+}
+
+func TestMergeLevels(t *testing.T) {
+	h := MustNew(16, 2, 2, 8)
+	m, err := h.MergeLevels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Arities(), []int{16, 2, 16}) {
+		t.Errorf("merged arities = %v", m.Arities())
+	}
+	if _, err := h.MergeLevels(3); err == nil {
+		t.Error("merge at last level accepted")
+	}
+}
+
+func TestSplitMergeInverse(t *testing.T) {
+	h := MustNew(4, 2, 16)
+	s, err := h.SplitLevel(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.MergeLevels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Arities(), h.Arities()) {
+		t.Errorf("split+merge != original: %v", m.Arities())
+	}
+}
+
+func TestPrepend(t *testing.T) {
+	node := MustNew(2, 4, 2, 8)
+	full, err := node.Prepend(Level{Name: "node", Arity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Arities(), []int{16, 2, 4, 2, 8}) {
+		t.Errorf("Prepend arities = %v", full.Arities())
+	}
+	if full.Size() != 2048 {
+		t.Errorf("Size = %d", full.Size())
+	}
+}
+
+func TestSub(t *testing.T) {
+	h := MustNew(16, 2, 4, 2, 8)
+	s, err := h.Sub(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Arities(), []int{2, 4, 2, 8}) {
+		t.Errorf("Sub = %v", s.Arities())
+	}
+	if _, err := h.Sub(3, 3); err == nil {
+		t.Error("empty Sub accepted")
+	}
+	if _, err := h.Sub(-1, 2); err == nil {
+		t.Error("negative Sub accepted")
+	}
+}
+
+func TestValidateProcessCount(t *testing.T) {
+	h := MustNew(2, 2, 4)
+	if err := h.ValidateProcessCount(16); err != nil {
+		t.Errorf("valid count rejected: %v", err)
+	}
+	if err := h.ValidateProcessCount(15); err == nil {
+		t.Error("wrong count accepted")
+	}
+}
+
+func TestValidateNetworkPrefix(t *testing.T) {
+	// §3.2 example: ⟦2, 3, 16, 2, 2, 8⟧ with the first three numbers
+	// describing the network needs 2×3×16 = 96 compute nodes.
+	h := MustNew(2, 3, 16, 2, 2, 8)
+	if err := h.ValidateNetworkPrefix(3, 96); err != nil {
+		t.Errorf("valid network prefix rejected: %v", err)
+	}
+	if err := h.ValidateNetworkPrefix(3, 64); err == nil {
+		t.Error("wrong node count accepted")
+	}
+	if err := h.ValidateNetworkPrefix(0, 96); err == nil {
+		t.Error("zero prefix accepted")
+	}
+	if err := h.ValidateNetworkPrefix(6, 96); err == nil {
+		t.Error("full-depth prefix accepted")
+	}
+}
+
+func BenchmarkFirstDiffLevel(b *testing.B) {
+	h := MustNew(16, 2, 4, 2, 8)
+	n := h.Size()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.FirstDiffLevel(i%n, (i*7+13)%n)
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimeInAndCensus(t *testing.T) {
+	r := NewRecorder()
+	// Two ranks, two comms (id 1 size 16, id 2 size 16), one comm of 4.
+	r.Collective(1, 16, "Alltoall", 100, 0, 0.0, 1.0)
+	r.Collective(1, 16, "Alltoall", 100, 1, 0.0, 3.0)
+	r.Collective(2, 16, "Alltoall", 100, 2, 0.0, 2.0)
+	r.Collective(3, 4, "Bcast", 10, 0, 1.0, 1.5)
+
+	// Mean over ranks of total Alltoall time on 16-comms: (1+3+2)/3 = 2.
+	if got := r.TimeIn("Alltoall", 16); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("TimeIn(Alltoall, 16) = %v, want 2", got)
+	}
+	if got := r.TimeIn("Bcast", 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TimeIn(Bcast, any) = %v, want 0.5", got)
+	}
+	if got := r.TimeIn("Reduce", 0); got != 0 {
+		t.Errorf("TimeIn(absent op) = %v", got)
+	}
+	census := r.CommCount()
+	if census[16] != 2 || census[4] != 1 {
+		t.Errorf("census = %v", census)
+	}
+}
+
+func TestOpTimesAndReport(t *testing.T) {
+	r := NewRecorder()
+	r.Collective(1, 8, "Allreduce", 64, 0, 0, 2)
+	r.Collective(1, 8, "Bcast", 64, 0, 2, 2.5)
+	ops := r.OpTimes()
+	if ops["Allreduce"] != 2 || ops["Bcast"] != 0.5 {
+		t.Errorf("OpTimes = %v", ops)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "Allreduce") || !strings.Contains(rep, "size 8") {
+		t.Errorf("Report = %q", rep)
+	}
+}
+
+func TestRecordsAndReset(t *testing.T) {
+	r := NewRecorder()
+	r.Collective(1, 2, "Scan", 8, 0, 0, 1)
+	if len(r.Records()) != 1 {
+		t.Error("record not stored")
+	}
+	r.Reset()
+	if len(r.Records()) != 0 {
+		t.Error("Reset did not clear records")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPerfect := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, yPerfect); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	yInv := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yInv); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	yFlat := []float64{3, 3, 3, 3, 3}
+	if got := Pearson(x, yFlat); !math.IsNaN(got) {
+		t.Errorf("zero-variance correlation = %v, want NaN", got)
+	}
+	if got := Pearson([]float64{1}, []float64{2}); !math.IsNaN(got) {
+		t.Errorf("single-point correlation = %v, want NaN", got)
+	}
+	// Noisy but strongly correlated.
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1}
+	if got := Pearson(x, y); got < 0.99 {
+		t.Errorf("noisy correlation = %v, want > 0.99", got)
+	}
+}
+
+func TestPearsonPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Pearson([]float64{1, 2}, []float64{1})
+}
