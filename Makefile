@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate: formatting, vet, build, and the full test
+# suite under the race detector.
+check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# bench regenerates the headline benchmark numbers as a JSON stream.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_1.json
+
+clean:
+	rm -f BENCH_1.json

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/figures"
+	"repro/internal/obs"
 	"repro/internal/study"
 )
 
@@ -32,7 +33,30 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figureN.csv files into this directory")
 	studyFlag := flag.Bool("study", false, "run the order study (all 24 orders of Figure 3's setup, metric↔bandwidth correlations)")
 	studySize := flag.String("studysize", "16MB", "total collective size for -study")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	metricsOut := flag.String("metrics", "", "write Prometheus text metrics of the run to this file")
 	flag.Parse()
+
+	var sc *obs.Scope
+	if *traceOut != "" || *metricsOut != "" {
+		sc = obs.New(obs.Options{})
+	}
+	writeArtifacts := func() {
+		if *traceOut != "" {
+			if err := obs.WriteTraceFile(*traceOut, sc); err != nil {
+				fmt.Fprintln(os.Stderr, "mrbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := obs.WritePrometheusFile(*metricsOut, sc.Registry()); err != nil {
+				fmt.Fprintln(os.Stderr, "mrbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}
+	}
 
 	if *legend {
 		fmt.Print(figures.LegendCharacterizations())
@@ -46,12 +70,14 @@ func main() {
 		}
 		cfg := figures.Figure3(nil).Config
 		cfg.Iters = *iters
+		cfg.MPI.Obs = sc
 		res, err := study.Run(cfg, size)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mrbench:", err)
 			os.Exit(1)
 		}
 		fmt.Print(res.Render())
+		writeArtifacts()
 		return
 	}
 	limit, err := parseSize(*maxSize)
@@ -86,6 +112,7 @@ func main() {
 	for _, f := range figs {
 		mb := all[f]
 		mb.Config.Iters = *iters
+		mb.Config.MPI.Obs = sc
 		series, err := bench.Run(mb.Config)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mrbench:", err)
@@ -106,6 +133,7 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	writeArtifacts()
 }
 
 func parseSize(s string) (int64, error) {

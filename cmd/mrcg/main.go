@@ -20,6 +20,8 @@ import (
 
 	"repro/internal/cg"
 	"repro/internal/figures"
+	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,7 +30,14 @@ func main() {
 	nnzRow := flag.Int("nnzrow", cg.ClassCScaled().NNZPerRow, "off-diagonals per row")
 	outer := flag.Int("outer", cg.ClassCScaled().OuterIters, "outer (zeta) iterations")
 	inner := flag.Int("inner", cg.ClassCScaled().InnerIters, "CG iterations per outer step")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the runs to this file")
+	metricsOut := flag.String("metrics", "", "write Prometheus text metrics of the runs to this file")
 	flag.Parse()
+
+	var sc *obs.Scope
+	if *traceOut != "" || *metricsOut != "" {
+		sc = obs.New(obs.Options{})
+	}
 
 	var procs []int
 	for _, f := range strings.Split(*procsFlag, ",") {
@@ -47,7 +56,7 @@ func main() {
 		prob.N, prob.OuterIters, prob.InnerIters)
 	var base float64
 	for _, p := range procs {
-		results, err := figures.RunFigure9([]int{p}, prob)
+		results, err := figures.RunFigure9MPI([]int{p}, prob, mpi.Config{Obs: sc})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mrcg:", err)
 			os.Exit(1)
@@ -64,5 +73,19 @@ func main() {
 		}
 		fmt.Print(figures.RenderFigure9(p, sels))
 		fmt.Printf("  perfect scaling: %.3f s, best measured: %.3f s\n\n", base/float64(p), best)
+	}
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "mrcg:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := obs.WritePrometheusFile(*metricsOut, sc.Registry()); err != nil {
+			fmt.Fprintln(os.Stderr, "mrcg:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 }

@@ -1,0 +1,159 @@
+// Command mrtrace runs one small, fixed scenario of each paper workload
+// with the observability layer enabled and writes its artifacts:
+//
+//	trace.json    Chrome trace-event JSON (open in ui.perfetto.dev);
+//	              one Perfetto "process" per simulated node, one
+//	              "thread" per MPI rank, plus a driver-phase track
+//	metrics.prom  Prometheus text exposition of every counter, gauge
+//	              and histogram
+//	metrics.csv   the same registry as a flat CSV
+//
+// and prints a flame-style terminal summary: the top-k operations by
+// cumulative virtual time and the per-hierarchy-level byte breakdown.
+//
+// Usage:
+//
+//	mrtrace -scenario bench            # 64-rank Alltoall sweep point
+//	mrtrace -scenario cg -o out/       # CG on 8 cores of a LUMI node
+//	mrtrace -scenario splatt -p2p      # CP-ALS with point-to-point events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/cg"
+	"repro/internal/cluster"
+	"repro/internal/figures"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/splatt"
+	"repro/internal/tensor"
+)
+
+func main() {
+	scenario := flag.String("scenario", "bench", "workload to trace: bench, cg, or splatt")
+	outDir := flag.String("o", ".", "directory for trace.json, metrics.prom, metrics.csv")
+	topK := flag.Int("topk", 10, "operations to show in the flame summary")
+	p2p := flag.Bool("p2p", false, "also record one instant event per point-to-point send")
+	blockSpans := flag.Bool("blockspans", false, "also record engine block/wake spans (verbose)")
+	flag.Parse()
+
+	sc := obs.New(obs.Options{P2PEvents: *p2p, BlockSpans: *blockSpans})
+	var err error
+	switch *scenario {
+	case "bench":
+		err = runBench(sc)
+	case "cg":
+		err = runCG(sc)
+	case "splatt":
+		err = runSplatt(sc)
+	default:
+		fmt.Fprintf(os.Stderr, "mrtrace: unknown scenario %q (have bench, cg, splatt)\n", *scenario)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrtrace:", err)
+		os.Exit(1)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "mrtrace:", err)
+		os.Exit(1)
+	}
+	for _, art := range []struct {
+		name  string
+		write func(path string) error
+	}{
+		{"trace.json", func(p string) error { return obs.WriteTraceFile(p, sc) }},
+		{"metrics.prom", func(p string) error { return obs.WritePrometheusFile(p, sc.Registry()) }},
+		{"metrics.csv", func(p string) error { return obs.WriteCSVFile(p, sc.Registry()) }},
+	} {
+		path := filepath.Join(*outDir, art.name)
+		if err := art.write(path); err != nil {
+			fmt.Fprintln(os.Stderr, "mrtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	fmt.Println()
+	fmt.Print(obs.Summary(sc, *topK))
+
+	// Cross-check the per-level attribution: the bytes attributed to each
+	// hierarchy level must sum to the total bytes moved.
+	reg := sc.Registry()
+	total := reg.FindCounter("mpi_bytes_total")
+	perLevel := reg.SumCounters("mpi_level_bytes_total")
+	if math.Abs(total-perLevel) > 0.5 {
+		fmt.Fprintf(os.Stderr, "mrtrace: per-level bytes (%.0f) do not sum to total bytes (%.0f)\n",
+			perLevel, total)
+		os.Exit(1)
+	}
+	fmt.Printf("\nper-level byte check: %.0f bytes attributed across levels == %.0f total\n",
+		perLevel, total)
+}
+
+// runBench traces one simultaneous-communicators Alltoall measurement on
+// two Hydra nodes (64 ranks, four 16-rank communicators, 4 MB total).
+func runBench(sc *obs.Scope) error {
+	sigma := []int{0, 1, 2, 3}
+	size := int64(4 << 20)
+	cfg := bench.Config{
+		Spec:      cluster.Hydra(2, 1),
+		Hierarchy: cluster.HydraHierarchy(2),
+		CommSize:  16,
+		Coll:      bench.Alltoall,
+		Orders:    [][]int{sigma},
+		Sizes:     []int64{size},
+		Iters:     2,
+		MPI:       mpi.Config{Obs: sc},
+	}
+	pt, err := bench.Measure(cfg, sigma, size, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench: 64-rank Alltoall, 4 subcommunicators of 16, %d B total: %s MB/s\n",
+		pt.Size, bench.FormatMBps(pt.Bandwidth))
+	return nil
+}
+
+// runCG traces the Class S conjugate gradient on 8 cores of one LUMI
+// node, using the first distinct map_cpu selection for p=8.
+func runCG(sc *obs.Scope) error {
+	sels, err := figures.DistinctSelections(8)
+	if err != nil {
+		return err
+	}
+	cores := sels[0].Cores
+	res, err := cg.Run(cluster.LUMINode(), cores, cg.ClassS(), mpi.Config{Obs: sc})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cg: Class S on cores %v of one LUMI node: %.6f s\n", cores, res.Duration)
+	return nil
+}
+
+// runSplatt traces a small CP-ALS: two Hydra nodes (64 ranks) on a 4×4×4
+// process grid with a synthetic nell-like tensor.
+func runSplatt(sc *obs.Scope) error {
+	res, err := splatt.Run(splatt.Config{
+		Spec:      cluster.Hydra(2, 1),
+		Hierarchy: cluster.HydraHierarchy(2),
+		Order:     cluster.HydraSlurmDefaultOrder(),
+		Grid:      tensor.Grid{4, 4, 4},
+		Tensor:    tensor.SyntheticNell([3]int{20_000, 2_000, 2_000}, 100_000, 1001),
+		Rank:      16,
+		Iters:     2,
+		MPI:       mpi.Config{Obs: sc},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("splatt: CP-ALS rank 16, 2 iterations on 64 ranks: %.6f s\n", res.Duration)
+	return nil
+}

@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/mixedradix"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -128,11 +130,15 @@ func Measure(cfg Config, sigma []int, size int64, simultaneous bool) (Point, err
 	n := cfg.Hierarchy.Size()
 	p := cfg.CommSize
 	nComms := n / p
+	reorderStart := time.Now()
 	ro, err := mixedradix.NewReorderer(cfg.Hierarchy.Arities(), sigma)
 	if err != nil {
 		return Point{}, err
 	}
 	table := ro.Table() // old rank -> reordered rank
+	// The reorder phase runs before the simulation starts, so it has no
+	// extent in virtual time; record its wall cost as a gauge instead.
+	cfg.MPI.Obs.Registry().Gauge("bench_reorder_wall_seconds").SetMax(time.Since(reorderStart).Seconds())
 	perRank := size / int64(p)
 	if perRank <= 0 {
 		return Point{}, fmt.Errorf("bench: size %d too small for %d ranks", size, p)
@@ -145,6 +151,7 @@ func Measure(cfg Config, sigma []int, size int64, simultaneous bool) (Point, err
 	for i := range binding {
 		binding[i] = i
 	}
+	sc := cfg.MPI.Obs
 	_, err = mpi.Run(cfg.Spec, binding, cfg.MPI, func(r *mpi.Rank) {
 		world := r.World()
 		newRank := table[r.ID()]
@@ -152,6 +159,13 @@ func Measure(cfg Config, sigma []int, size int64, simultaneous bool) (Point, err
 		key := newRank % p
 		comm := world.Split(r, color, key)
 		world.Barrier(r)
+		// The rank that is rank 0 of the first subcommunicator narrates the
+		// driver phases (it participates in every scenario).
+		phases := color == 0 && comm.Rank() == 0
+		splitDone := r.Now()
+		if phases {
+			sc.Phase("bench.split", 0, splitDone, obs.Arg{Key: "size", Val: size})
+		}
 		if !simultaneous && color != 0 {
 			return
 		}
@@ -159,10 +173,16 @@ func Measure(cfg Config, sigma []int, size int64, simultaneous bool) (Point, err
 		runCollective(r, comm, cfg.Coll, perRank)
 		comm.Barrier(r)
 		start := r.Now()
+		if phases {
+			sc.Phase("bench.warmup", splitDone, start)
+		}
 		for i := 0; i < cfg.Iters; i++ {
 			runCollective(r, comm, cfg.Coll, perRank)
 		}
 		elapsed := r.Now() - start
+		if phases {
+			sc.Phase("bench.timed", start, r.Now(), obs.Arg{Key: "iters", Val: int64(cfg.Iters)})
+		}
 		if comm.Rank() == 0 {
 			mu.Lock()
 			durations = append(durations, elapsed/float64(cfg.Iters))
@@ -171,6 +191,9 @@ func Measure(cfg Config, sigma []int, size int64, simultaneous bool) (Point, err
 	})
 	if err != nil {
 		return Point{}, err
+	}
+	if len(durations) == 0 {
+		return Point{}, fmt.Errorf("bench: no communicator reported a duration (size %d)", size)
 	}
 	bws := make([]float64, len(durations))
 	for i, d := range durations {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 )
 
 // Problem describes one benchmark instance (an NPB class analogue).
@@ -287,6 +288,7 @@ func Run(spec netmodel.Spec, binding []int, prob Problem, cfg mpi.Config) (Resul
 	}
 	m := prob.Generate()
 	var result Result
+	sc := cfg.Obs
 	_, err := mpi.Run(spec, binding, cfg, func(r *mpi.Rank) {
 		comm := r.World()
 		local := prob.N / nprocs
@@ -303,8 +305,13 @@ func Run(spec netmodel.Spec, binding []int, prob Problem, cfg mpi.Config) (Resul
 
 		comm.Barrier(r)
 		start := r.Now()
+		phases := r.ID() == 0
+		if phases {
+			sc.Phase("cg.setup", 0, start, obs.Arg{Key: "ranks", Val: int64(nprocs)})
+		}
 		var zeta, finalRes float64
 		for outer := 0; outer < prob.OuterIters; outer++ {
+			outerStart := r.Now()
 			finalRes = cgSolve(m, lo, hi, x, z, res, p, q, prob.InnerIters, r, comm)
 			var xz, zz float64
 			for i := 0; i < local; i++ {
@@ -324,8 +331,14 @@ func Run(spec netmodel.Spec, binding []int, prob Problem, cfg mpi.Config) (Resul
 				off += len(part.Data)
 			}
 			chargeVecOps(local, 1, r)
+			if phases {
+				sc.Phase("cg.outer", outerStart, r.Now(), obs.Arg{Key: "outer", Val: int64(outer)})
+			}
 		}
 		comm.Barrier(r)
+		if phases {
+			sc.Phase("cg.timed", start, r.Now(), obs.Arg{Key: "outer_iters", Val: int64(prob.OuterIters)})
+		}
 		if r.ID() == 0 {
 			result = Result{Duration: r.Now() - start, Zeta: zeta, Residual: finalRes}
 		}

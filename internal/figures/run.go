@@ -37,6 +37,12 @@ func RunFigure8(cfg Figure8Config) ([]Figure8Result, error) {
 // RunFigure9 measures the CG duration for every distinct core selection of
 // every process count.
 func RunFigure9(procs []int, prob cg.Problem) (map[int][]Figure9Selection, error) {
+	return RunFigure9MPI(procs, prob, mpi.Config{})
+}
+
+// RunFigure9MPI is RunFigure9 with an explicit MPI runtime configuration,
+// so callers can attach tracers or an observability scope to every run.
+func RunFigure9MPI(procs []int, prob cg.Problem, mcfg mpi.Config) (map[int][]Figure9Selection, error) {
 	spec := cluster.LUMINode()
 	out := map[int][]Figure9Selection{}
 	for _, p := range procs {
@@ -45,7 +51,7 @@ func RunFigure9(procs []int, prob cg.Problem) (map[int][]Figure9Selection, error
 			return nil, err
 		}
 		for i := range sels {
-			res, err := cg.Run(spec, sels[i].Cores, prob, mpi.Config{})
+			res, err := cg.Run(spec, sels[i].Cores, prob, mcfg)
 			if err != nil {
 				return nil, err
 			}

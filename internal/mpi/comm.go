@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -186,13 +187,25 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 			for i, e := range es {
 				st.result[e.worldRank] = &commSpec{id: id, group: group, rank: i}
 			}
+			if sc := w.cfg.Obs; sc != nil {
+				// Ring cost of the new communicator's placement (§3.3):
+				// crossing cost between the cores of consecutive ranks.
+				hier := w.platform.Hierarchy()
+				rc := 0
+				for i := 0; i+1 < len(group); i++ {
+					rc += hier.CrossCost(w.binding[group[i]], w.binding[group[i+1]])
+				}
+				reg := sc.Registry()
+				reg.Gauge("mpi_comm_ring_cost", obs.L("comm", fmt.Sprintf("%d", id))).Set(float64(rc))
+				reg.Counter("mpi_comms_created_total", obs.L("size", fmt.Sprintf("%d", len(group)))).AddInt(1)
+			}
 		}
 		delete(w.splits, sk)
 		w.mu.Unlock()
 		st.done.Fire()
 	} else {
 		w.mu.Unlock()
-		st.done.Await(r.proc)
+		st.done.AwaitOp(r.proc, "Split", -1, 0)
 	}
 	// All members observe the computed result.
 	spec := st.result[me]
@@ -229,9 +242,30 @@ func (c *Comm) Barrier(r *Rank) {
 	c.trace(r, "Barrier", 0, start)
 }
 
-// trace reports a finished collective to the world's tracer.
+// trace reports a finished collective to the world's tracer and the
+// observability scope (one span per op on the rank's track, plus latency
+// and byte metrics). Both hooks are nil-checked; disabled they cost two
+// predictable branches.
 func (c *Comm) trace(r *Rank, op string, bytes int64, start float64) {
-	if tr := c.w.cfg.Tracer; tr != nil {
-		tr.Collective(c.id, len(c.group), op, bytes, r.id, start, r.Now())
+	tr := c.w.cfg.Tracer
+	sc := c.w.cfg.Obs
+	if tr == nil && sc == nil {
+		return
+	}
+	end := r.Now()
+	if tr != nil {
+		tr.Collective(c.id, len(c.group), op, bytes, r.id, start, end)
+	}
+	if sc != nil {
+		w := c.w
+		sc.Span(w.nodeOf(w.binding[r.id]), r.id, op, "coll", start, end,
+			obs.Arg{Key: "comm", Val: int64(c.id)},
+			obs.Arg{Key: "comm_size", Val: int64(len(c.group))},
+			obs.Arg{Key: "bytes", Val: bytes})
+		reg := sc.Registry()
+		opL := obs.L("op", op)
+		reg.Histogram("mpi_coll_seconds", obs.TimeBuckets(), opL).Observe(end - start)
+		reg.Counter("mpi_coll_total", opL).AddInt(1)
+		reg.Counter("mpi_coll_bytes_total", opL).AddInt(bytes)
 	}
 }

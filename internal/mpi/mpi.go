@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -52,6 +53,11 @@ type Config struct {
 	Tracer Tracer
 	// P2P receives every point-to-point message; nil disables it.
 	P2P P2PTracer
+	// Obs is the unified observability scope: collective spans, per-level
+	// byte counters, per-communicator ring costs, and (via Run) engine
+	// health metrics. nil disables all of it at the cost of one nil check
+	// per operation.
+	Obs *obs.Scope
 	// Force* pin a collective to one algorithm ("" = size-based decision).
 	ForceAlltoall  string
 	ForceAllgather string
@@ -70,7 +76,17 @@ type World struct {
 	mail    []map[matchKey]*matchQueue // per destination rank
 	commSeq int
 	splits  map[splitKey]*splitState
+
+	// Observability state, pre-resolved at NewWorld so the hot paths pay
+	// one nil check when disabled and no registry lookups when enabled.
+	coresPerNode  int
+	obsBytesTotal *obs.Counter   // nil when cfg.Obs is nil
+	obsLevelBytes []*obs.Counter // by FirstDiffLevel index; [depth] = same core
+	obsMsgs       *obs.Counter
 }
+
+// nodeOf returns the Perfetto pid for a core: its outermost-level domain.
+func (w *World) nodeOf(core int) int { return core / w.coresPerNode }
 
 type matchKey struct {
 	src int
@@ -134,6 +150,19 @@ func NewWorld(engine *sim.Engine, platform *netmodel.Platform, binding []int, cf
 		w.mail[i] = make(map[matchKey]*matchQueue)
 	}
 	w.commSeq = 1 // id 0 is the world communicator
+	hier := platform.Hierarchy()
+	w.coresPerNode = platform.NumCores() / hier.Level(0).Arity
+	if sc := cfg.Obs; sc != nil {
+		reg := sc.Registry()
+		w.obsBytesTotal = reg.Counter("mpi_bytes_total")
+		w.obsMsgs = reg.Counter("mpi_messages_total")
+		depth := hier.Depth()
+		w.obsLevelBytes = make([]*obs.Counter, depth+1)
+		for l := 0; l < depth; l++ {
+			w.obsLevelBytes[l] = reg.Counter("mpi_level_bytes_total", obs.L("level", hier.Level(l).Name))
+		}
+		w.obsLevelBytes[depth] = reg.Counter("mpi_level_bytes_total", obs.L("level", "self"))
+	}
 	return w, nil
 }
 
@@ -152,7 +181,15 @@ func (w *World) Spawn(body func(r *Rank)) {
 	}
 	for i := 0; i < w.Size(); i++ {
 		rank := i
-		w.engine.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Process) {
+		name := fmt.Sprintf("rank%d", rank)
+		if sc := w.cfg.Obs; sc != nil {
+			core := w.binding[rank]
+			node := w.nodeOf(core)
+			sc.SetProcessName(node, fmt.Sprintf("node%d", node))
+			sc.SetThreadName(node, rank, fmt.Sprintf("rank%d@core%d", rank, core))
+			sc.BindProc(name, node, rank)
+		}
+		w.engine.Spawn(name, func(p *sim.Process) {
 			r := &Rank{w: w, proc: p, id: rank}
 			r.world = &Comm{w: w, id: 0, group: group, rank: rank}
 			body(r)
@@ -170,9 +207,16 @@ func Run(spec netmodel.Spec, binding []int, cfg Config, body func(r *Rank)) (flo
 	if err != nil {
 		return 0, err
 	}
+	var eo *obs.EngineObserver
+	if cfg.Obs != nil {
+		eo = obs.NewEngineObserver(cfg.Obs)
+		engine.SetObserver(eo)
+	}
 	w.Spawn(body)
-	if err := engine.Run(); err != nil {
-		return 0, err
+	runErr := engine.Run()
+	eo.Finish()
+	if runErr != nil {
+		return 0, runErr
 	}
 	return engine.Now(), nil
 }
@@ -198,16 +242,21 @@ func (r *Rank) Compute(flops, bytes float64) {
 	r.w.platform.Compute(r.proc, r.w.binding[r.id], flops, bytes)
 }
 
-// Request is a pending non-blocking operation.
+// Request is a pending non-blocking operation. The op/peer/tag fields
+// describe it for deadlock diagnostics (static strings and ints only, so
+// labelling costs no allocation on the hot path).
 type Request struct {
-	fin *sim.Condition
-	buf *Buf // receive destination (nil for sends)
+	fin  *sim.Condition
+	buf  *Buf // receive destination (nil for sends)
+	op   string
+	peer int // world rank of the remote side
+	tag  int64
 }
 
 // Wait blocks the rank until the operation completes; for receives it
 // returns the received payload.
 func (req *Request) Wait(r *Rank) Buf {
-	req.fin.Await(r.proc)
+	req.fin.AwaitOp(r.proc, req.op, req.peer, req.tag)
 	if req.buf != nil {
 		return *req.buf
 	}
@@ -217,7 +266,7 @@ func (req *Request) Wait(r *Rank) Buf {
 // WaitAll completes all requests.
 func WaitAll(r *Rank, reqs ...*Request) {
 	for _, q := range reqs {
-		q.fin.Await(r.proc)
+		q.fin.AwaitOp(r.proc, q.op, q.peer, q.tag)
 	}
 }
 
@@ -240,6 +289,15 @@ func (w *World) isend(src, dst int, tag int64, buf Buf) *Request {
 		w.cfg.P2P.P2P(src, dst, buf.Bytes)
 	}
 	srcCore, dstCore := w.binding[src], w.binding[dst]
+	if w.obsBytesTotal != nil {
+		w.obsBytesTotal.AddInt(buf.Bytes)
+		w.obsMsgs.AddInt(1)
+		w.obsLevelBytes[w.platform.Hierarchy().FirstDiffLevel(srcCore, dstCore)].AddInt(buf.Bytes)
+		if w.cfg.Obs.Options().P2PEvents {
+			w.cfg.Obs.Instant(w.nodeOf(srcCore), src, "p2p", "p2p", w.engine.Now(),
+				obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "bytes", Val: buf.Bytes})
+		}
+	}
 	eager := buf.Bytes <= w.cfg.EagerThreshold
 
 	w.mu.Lock()
@@ -260,9 +318,9 @@ func (w *World) isend(src, dst int, tag int64, buf Buf) *Request {
 			// Eager sends complete locally right away.
 			fin := w.engine.NewCondition()
 			fin.Fire()
-			return &Request{fin: fin}
+			return &Request{fin: fin, op: "Send", peer: dst, tag: tag}
 		}
-		return &Request{fin: c}
+		return &Request{fin: c, op: "Send", peer: dst, tag: tag}
 	}
 	// No receive yet: enqueue.
 	rec := &sendRec{buf: buf.Clone(), srcCore: srcCore, dstCore: dstCore}
@@ -279,7 +337,7 @@ func (w *World) isend(src, dst int, tag int64, buf Buf) *Request {
 	if eager {
 		fin.Fire()
 	}
-	return &Request{fin: fin}
+	return &Request{fin: fin, op: "Send", peer: dst, tag: tag}
 }
 
 // irecv posts a receive at world rank dst for a message from src.
@@ -310,9 +368,9 @@ func (w *World) irecv(dst, src int, tag int64) *Request {
 				rec.senderFin.FireLocked()
 			})
 		}
-		return &Request{fin: fin, buf: out}
+		return &Request{fin: fin, buf: out, op: "Recv", peer: src, tag: tag}
 	}
 	q.recvs = append(q.recvs, &recvRec{fin: fin, buf: out})
 	w.mu.Unlock()
-	return &Request{fin: fin, buf: out}
+	return &Request{fin: fin, buf: out, op: "Recv", peer: src, tag: tag}
 }

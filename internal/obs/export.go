@@ -1,0 +1,75 @@
+// Prometheus text exposition and CSV export of the metric registry.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promLabels renders a label set in exposition syntax ("" when empty).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	return labelString(all)
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE header per metric name, histograms
+// expanded into cumulative _bucket/_sum/_count series. Output is sorted
+// and deterministic for a deterministic registry.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	pts := r.Snapshot()
+	typed := map[string]bool{}
+	for _, p := range pts {
+		if !typed[p.Name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Type); err != nil {
+				return err
+			}
+			typed[p.Name] = true
+		}
+		switch p.Type {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels), formatValue(p.Value)); err != nil {
+				return err
+			}
+		case "histogram":
+			var cum uint64
+			for i, b := range p.Bounds {
+				cum += p.BucketCounts[i]
+				le := L("le", fmt.Sprintf("%g", b))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, L("le", "+Inf")), p.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", p.Name, promLabels(p.Labels), p.Value); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels), p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the registry as "name,labels,type,value,count" rows
+// (histograms contribute their sum and count; buckets are omitted).
+func WriteCSV(w io.Writer, r *Registry) error {
+	if _, err := fmt.Fprintln(w, "name,labels,type,value,count"); err != nil {
+		return err
+	}
+	for _, p := range r.Snapshot() {
+		labels := strings.ReplaceAll(labelString(p.Labels), `"`, `""`)
+		if _, err := fmt.Fprintf(w, "%s,\"%s\",%s,%s,%d\n", p.Name, labels, p.Type, formatValue(p.Value), p.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

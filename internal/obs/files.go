@@ -1,0 +1,37 @@
+// File-writing conveniences for the CLI front-ends: each wraps one of the
+// stream exporters with create/close handling so commands can map an
+// output flag straight to a path.
+
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+func writeFile(path string, write func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteTraceFile writes the scope's Chrome trace-event JSON to path.
+func WriteTraceFile(path string, s *Scope) error {
+	return writeFile(path, func(f *os.File) error { return WriteTraceJSON(f, s) })
+}
+
+// WritePrometheusFile writes the registry's Prometheus text format to path.
+func WritePrometheusFile(path string, r *Registry) error {
+	return writeFile(path, func(f *os.File) error { return WritePrometheus(f, r) })
+}
+
+// WriteCSVFile writes the registry's CSV snapshot to path.
+func WriteCSVFile(path string, r *Registry) error {
+	return writeFile(path, func(f *os.File) error { return WriteCSV(f, r) })
+}

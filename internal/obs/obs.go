@@ -1,0 +1,280 @@
+// Package obs is the unified observability layer of the simulation stack:
+// span tracing in *virtual* sim time, a metric registry holding counters,
+// gauges and fixed log-bucket histograms, and exporters for Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing), Prometheus
+// text exposition, and CSV.
+//
+// The dual-clock design: spans and most metrics are measured against the
+// discrete-event engine's virtual clock (collective latency, bytes moved
+// per hierarchy level, phase durations), while a small set of engine
+// health metrics (events per wall second, goroutine wake latency) use the
+// wall clock — their names carry a "wall" component so deterministic
+// consumers can filter them out.
+//
+// Every entry point is nil-safe: a nil *Scope, *Counter, *Gauge or
+// *Histogram is a no-op, so instrumented code needs no "if enabled" guard
+// beyond the nil checks it gets for free, and the disabled path performs
+// no allocations.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DriverPID is the Perfetto "process" id reserved for driver-level phase
+// spans (reorder, split, warmup, timed iterations) that do not belong to
+// any simulated node. Simulated nodes use their node index as pid.
+const DriverPID = 1 << 20
+
+// Arg is one key/value annotation attached to a span.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Span is one completed operation on one track: a Perfetto "complete"
+// event. Times are virtual seconds.
+type Span struct {
+	PID   int // simulated node (or DriverPID)
+	TID   int // world rank within the node's process group
+	Name  string
+	Cat   string
+	Start float64
+	End   float64
+	Args  []Arg
+}
+
+// Instant is a zero-duration marker event.
+type Instant struct {
+	PID  int
+	TID  int
+	Name string
+	Cat  string
+	At   float64
+	Args []Arg
+}
+
+// Options tunes a Scope.
+type Options struct {
+	// MaxSpans caps the span buffer; further spans are counted (exported
+	// as the obs_spans_dropped_total counter) but not stored. 0 means the
+	// default of 1<<20.
+	MaxSpans int
+	// P2PEvents records one instant event per point-to-point message
+	// (including the messages collective algorithms issue). High volume;
+	// intended for small runs inspected in Perfetto.
+	P2PEvents bool
+	// BlockSpans records one "blocked" span per process park/wake pair,
+	// showing when each rank sat idle. High volume.
+	BlockSpans bool
+}
+
+// Scope is one run's observability context: a span buffer, track naming
+// metadata, and a metric registry. All methods are safe for concurrent
+// use and all are no-ops on a nil receiver.
+type Scope struct {
+	opts Options
+	reg  *Registry
+
+	mu          sync.Mutex
+	spans       []Span
+	instants    []Instant
+	dropped     int64
+	procNames   map[int]string
+	threadNames map[[2]int]string
+	procBind    map[string][2]int // sim process name -> (pid, tid)
+}
+
+// New returns an enabled Scope.
+func New(opts Options) *Scope {
+	if opts.MaxSpans <= 0 {
+		opts.MaxSpans = 1 << 20
+	}
+	return &Scope{
+		opts:        opts,
+		reg:         NewRegistry(),
+		procNames:   map[int]string{},
+		threadNames: map[[2]int]string{},
+		procBind:    map[string][2]int{},
+	}
+}
+
+// Enabled reports whether the scope records anything.
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Options returns the scope's options (zero value on nil).
+func (s *Scope) Options() Options {
+	if s == nil {
+		return Options{}
+	}
+	return s.opts
+}
+
+// Registry returns the scope's metric registry (nil on a nil scope).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Span records one completed span.
+func (s *Scope) Span(pid, tid int, name, cat string, start, end float64, args ...Arg) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.spans) >= s.opts.MaxSpans {
+		s.dropped++
+		return
+	}
+	s.spans = append(s.spans, Span{PID: pid, TID: tid, Name: name, Cat: cat, Start: start, End: end, Args: args})
+}
+
+// Instant records a zero-duration marker.
+func (s *Scope) Instant(pid, tid int, name, cat string, at float64, args ...Arg) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.instants) >= s.opts.MaxSpans {
+		s.dropped++
+		return
+	}
+	s.instants = append(s.instants, Instant{PID: pid, TID: tid, Name: name, Cat: cat, At: at, Args: args})
+}
+
+// Phase records a driver-level phase span (reorder, warmup, timed …) on
+// the dedicated driver track.
+func (s *Scope) Phase(name string, start, end float64, args ...Arg) {
+	s.Span(DriverPID, 0, name, "phase", start, end, args...)
+}
+
+// SetProcessName names a Perfetto process (a simulated node).
+func (s *Scope) SetProcessName(pid int, name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.procNames[pid] = name
+}
+
+// SetThreadName names a Perfetto thread (a rank) within a process.
+func (s *Scope) SetThreadName(pid, tid int, name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.threadNames[[2]int{pid, tid}] = name
+}
+
+// BindProc associates a sim process name (e.g. "rank3") with its Perfetto
+// (pid, tid) track, so engine-level observers can attribute block/wake
+// activity to the right track.
+func (s *Scope) BindProc(proc string, pid, tid int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.procBind[proc] = [2]int{pid, tid}
+}
+
+// LookupProc resolves a sim process name to its (pid, tid) track,
+// reporting whether a binding exists.
+func (s *Scope) LookupProc(proc string) (pid, tid int, ok bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.procBind[proc]
+	return t[0], t[1], ok
+}
+
+// Spans returns a copy of the recorded spans.
+func (s *Scope) Spans() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Span(nil), s.spans...)
+}
+
+// Instants returns a copy of the recorded instant events.
+func (s *Scope) Instants() []Instant {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Instant(nil), s.instants...)
+}
+
+// DroppedSpans returns how many spans/instants were discarded because the
+// buffer was full.
+func (s *Scope) DroppedSpans() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// trackNames returns sorted copies of the naming metadata.
+func (s *Scope) trackNames() (procs []struct {
+	PID  int
+	Name string
+}, threads []struct {
+	PID, TID int
+	Name     string
+}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for pid, name := range s.procNames {
+		procs = append(procs, struct {
+			PID  int
+			Name string
+		}{pid, name})
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].PID < procs[j].PID })
+	for k, name := range s.threadNames {
+		threads = append(threads, struct {
+			PID, TID int
+			Name     string
+		}{k[0], k[1], name})
+	}
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i].PID != threads[j].PID {
+			return threads[i].PID < threads[j].PID
+		}
+		return threads[i].TID < threads[j].TID
+	})
+	return procs, threads
+}
+
+// labelString renders labels canonically for map keys and export:
+// {k1="v1",k2="v2"} with keys sorted.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	out := "{"
+	for i, l := range ls {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return out + "}"
+}

@@ -15,7 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
+	"time"
 )
 
 // ErrDeadlock is returned by Run when processes are blocked but no event is
@@ -49,6 +51,23 @@ func (h *eventHeap) Pop() any {
 }
 func (h eventHeap) peek() *event { return h[0] }
 
+// Observer receives engine lifecycle callbacks for observability. Every
+// method is invoked with the engine lock held: implementations must be
+// fast, must not block, and must not call back into the engine. All hooks
+// are nil-checked so a nil observer costs one predictable branch.
+type Observer interface {
+	// OnAdvance is called after every batch of events fired at one virtual
+	// instant: the new virtual time, how many events fired at it, and the
+	// queue depth remaining afterwards.
+	OnAdvance(now float64, fired, queueDepth int)
+	// OnBlock is called when a process parks (Wait, WaitUntil, Await).
+	OnBlock(proc string, now float64)
+	// OnWake is called when a parked process resumes. wallLatency is the
+	// wall-clock delay between the waking event and the goroutine actually
+	// resuming (0 when unknown, e.g. the initial release at time 0).
+	OnWake(proc string, now float64, wallLatency float64)
+}
+
 // Engine is a discrete-event simulation. Create with NewEngine, add
 // processes with Spawn, then call Run.
 type Engine struct {
@@ -61,6 +80,15 @@ type Engine struct {
 	procs   []*Process
 	stopped bool
 	failure error
+	obs     Observer
+}
+
+// SetObserver installs the engine observer. Call before Run; a nil
+// observer (the default) disables all callbacks.
+func (e *Engine) SetObserver(o Observer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.obs = o
 }
 
 // NewEngine returns an empty engine at virtual time 0.
@@ -112,6 +140,24 @@ type Process struct {
 	name   string
 	wake   chan float64
 	done   bool
+
+	// blocked-on description for deadlock diagnostics; written under the
+	// engine lock by AwaitOp and cleared on wake.
+	blockOp   string
+	blockPeer int
+	blockTag  int64
+	wakeWall  time.Time // wall time of unblock, for wake-latency metrics
+}
+
+// blockDesc renders what the process is blocked on ("" when unknown).
+func (p *Process) blockDesc() string {
+	if p.blockOp == "" {
+		return ""
+	}
+	if p.blockPeer < 0 {
+		return p.blockOp
+	}
+	return fmt.Sprintf("%s(peer=%d, tag=%d)", p.blockOp, p.blockPeer, p.blockTag)
 }
 
 // Name returns the process name given to Spawn.
@@ -161,11 +207,22 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 // re-acquired before returning. Returns the wake time.
 func (p *Process) block() float64 {
 	e := p.engine
+	if e.obs != nil {
+		e.obs.OnBlock(p.name, e.now)
+	}
 	e.running--
 	e.cond.Signal()
 	e.mu.Unlock()
 	t := <-p.wake
 	e.mu.Lock()
+	if e.obs != nil {
+		var lat float64
+		if !p.wakeWall.IsZero() {
+			lat = time.Since(p.wakeWall).Seconds()
+			p.wakeWall = time.Time{}
+		}
+		e.obs.OnWake(p.name, e.now, lat)
+	}
 	return t
 }
 
@@ -173,6 +230,9 @@ func (p *Process) block() float64 {
 // called with the engine lock held (typically from an event callback).
 func (p *Process) unblock() {
 	e := p.engine
+	if e.obs != nil {
+		p.wakeWall = time.Now()
+	}
 	e.running++
 	p.wake <- e.now
 }
@@ -270,14 +330,25 @@ func (c *Condition) Fired() bool {
 
 // Await blocks the process until the condition fires.
 func (c *Condition) Await(p *Process) {
+	c.AwaitOp(p, "", -1, 0)
+}
+
+// AwaitOp is Await, additionally recording what the process is about to
+// block on — an operation name plus an optional peer rank and tag (pass
+// peer < 0 to omit them) — so that a deadlock report can say which
+// operation each stuck process was waiting for. The label costs only
+// three field writes under the lock Await already takes.
+func (c *Condition) AwaitOp(p *Process, op string, peer int, tag int64) {
 	e := c.engine
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if c.fired {
 		return
 	}
+	p.blockOp, p.blockPeer, p.blockTag = op, peer, tag
 	c.waiters = append(c.waiters, p)
 	p.block()
+	p.blockOp = ""
 }
 
 // AwaitAll blocks the process until every condition has fired.
@@ -321,25 +392,47 @@ func (e *Engine) Run() error {
 			}
 			e.stopped = true
 			if !allDone {
-				var blocked []string
-				for _, p := range e.procs {
-					if !p.done {
-						blocked = append(blocked, p.name)
-						if len(blocked) >= 8 {
-							break
-						}
-					}
-				}
-				return fmt.Errorf("%w (first blocked: %v)", ErrDeadlock, blocked)
+				return e.deadlockError()
 			}
 			return nil
 		}
 		// Advance to the next event time and fire every event at it.
 		next := e.events.peek().at
 		e.now = next
+		fired := 0
 		for len(e.events) > 0 && e.events.peek().at == next {
 			ev := heap.Pop(&e.events).(*event)
 			ev.fn()
+			fired++
+		}
+		if e.obs != nil {
+			e.obs.OnAdvance(e.now, fired, len(e.events))
 		}
 	}
+}
+
+// deadlockError builds the ErrDeadlock report: every stuck process with
+// the operation it is blocked on (capped at 8, the rest summarized).
+// Called with the engine lock held.
+func (e *Engine) deadlockError() error {
+	var blocked []string
+	total := 0
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		total++
+		if len(blocked) < 8 {
+			if d := p.blockDesc(); d != "" {
+				blocked = append(blocked, fmt.Sprintf("%s blocked on %s", p.name, d))
+			} else {
+				blocked = append(blocked, p.name)
+			}
+		}
+	}
+	suffix := ""
+	if total > len(blocked) {
+		suffix = fmt.Sprintf(" … and %d more", total-len(blocked))
+	}
+	return fmt.Errorf("%w (%d blocked: %s%s)", ErrDeadlock, total, strings.Join(blocked, "; "), suffix)
 }

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -260,5 +262,102 @@ func BenchmarkWaitChain(b *testing.B) {
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+func TestDeadlockReportNamesBlockedProcesses(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCondition() // never fired
+	e.Spawn("recv3", func(p *Process) {
+		c.AwaitOp(p, "Recv", 3, 42)
+	})
+	e.Spawn("plain", func(p *Process) {
+		c.Await(p)
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run = %v, want ErrDeadlock", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"2 blocked", "recv3", "Recv(peer=3, tag=42)", "plain"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock report missing %q: %s", want, msg)
+		}
+	}
+}
+
+func TestDeadlockReportCapsProcessList(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCondition()
+	for i := 0; i < 12; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Process) { c.Await(p) })
+	}
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run = %v, want ErrDeadlock", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "12 blocked") || !strings.Contains(msg, "more") {
+		t.Errorf("capped deadlock report should count all 12 and note the overflow: %s", msg)
+	}
+}
+
+type countingObserver struct {
+	advances, blocks, wakes int
+	lastNow                 float64
+	maxQueue                int
+}
+
+func (o *countingObserver) OnAdvance(now float64, fired, queueDepth int) {
+	o.advances++
+	o.lastNow = now
+	if queueDepth > o.maxQueue {
+		o.maxQueue = queueDepth
+	}
+}
+func (o *countingObserver) OnBlock(proc string, now float64) { o.blocks++ }
+func (o *countingObserver) OnWake(proc string, now float64, wallLatency float64) {
+	o.wakes++
+	if wallLatency < 0 {
+		panic("negative wake latency")
+	}
+}
+
+func TestObserverSeesAdvancesAndBlocks(t *testing.T) {
+	e := NewEngine()
+	obs := &countingObserver{}
+	e.SetObserver(obs)
+	c := e.NewCondition()
+	e.Spawn("waiter", func(p *Process) {
+		c.Await(p)
+	})
+	e.Spawn("firer", func(p *Process) {
+		p.Wait(2)
+		c.Fire()
+		p.Wait(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.advances == 0 {
+		t.Error("observer saw no event advances")
+	}
+	if obs.blocks == 0 || obs.wakes != obs.blocks {
+		t.Errorf("observer saw %d blocks and %d wakes, want equal and > 0", obs.blocks, obs.wakes)
+	}
+	if obs.lastNow != 3 {
+		t.Errorf("last observed time = %v, want 3", obs.lastNow)
+	}
+}
+
+func TestNilObserverCostsNothing(t *testing.T) {
+	// The disabled path must not allocate: block labels are static strings
+	// and the observer hook is one nil check.
+	e := NewEngine()
+	c := e.NewCondition()
+	e.Spawn("a", func(p *Process) { c.AwaitOp(p, "Recv", 1, 7) })
+	e.Spawn("b", func(p *Process) { p.Wait(1); c.Fire() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

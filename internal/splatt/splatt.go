@@ -17,6 +17,7 @@ import (
 	"repro/internal/mixedradix"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -81,8 +82,9 @@ func Run(cfg Config) (*Result, error) {
 		binding[i] = i
 	}
 	var duration float64
+	sc := mpiCfg.Obs
 	_, err = mpi.Run(cfg.Spec, binding, mpiCfg, func(r *mpi.Rank) {
-		d := cpdRank(r, table, g, part, cfg.Rank, cfg.Iters)
+		d := cpdRank(r, sc, table, g, part, cfg.Rank, cfg.Iters)
 		if r.ID() == 0 {
 			duration = d
 		}
@@ -96,7 +98,7 @@ func Run(cfg Config) (*Result, error) {
 // cpdRank is the per-rank body of the simulated CPD. It returns the
 // duration between the post-setup barrier and the end of the ALS loop
 // (synchronized by a final barrier, so every rank reports the same value).
-func cpdRank(r *mpi.Rank, table []int, g tensor.Grid, part *tensor.Partition, cpRank, iters int) float64 {
+func cpdRank(r *mpi.Rank, sc *obs.Scope, table []int, g tensor.Grid, part *tensor.Partition, cpRank, iters int) float64 {
 	world := r.World()
 	// The paper's black-box reordering: split with the reordered rank as
 	// key; the application then uses this communicator as its world.
@@ -128,7 +130,12 @@ func cpdRank(r *mpi.Rank, table []int, g tensor.Grid, part *tensor.Partition, cp
 
 	comm.Barrier(r)
 	start := r.Now()
+	phases := r.ID() == 0
+	if phases {
+		sc.Phase("splatt.setup", 0, start)
+	}
 	for it := 0; it < iters; it++ {
+		iterStart := r.Now()
 		for m := 0; m < tensor.Order; m++ {
 			// Local MTTKRP on this rank's block.
 			r.Compute(tensor.FlopsPerMTTKRP(nnz, R), tensor.BytesPerMTTKRP(nnz, R))
@@ -158,9 +165,15 @@ func cpdRank(r *mpi.Rank, table []int, g tensor.Grid, part *tensor.Partition, cp
 		}
 		// Fit: inner products reduced across the world.
 		comm.Allreduce(r, mpi.BytesBuf(16), mpi.OpSum)
+		if phases {
+			sc.Phase("splatt.iter", iterStart, r.Now(), obs.Arg{Key: "iter", Val: int64(it)})
+		}
 	}
 	comm.Barrier(r)
 	elapsed := r.Now() - start
+	if phases {
+		sc.Phase("splatt.cpd", start, r.Now(), obs.Arg{Key: "iters", Val: int64(iters)})
+	}
 
 	// Final factor gather to rank 0 (outside the timed CPD, as in Splatt's
 	// output stage, but it exercises MPI_Gather for the census).

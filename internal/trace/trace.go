@@ -51,7 +51,15 @@ func (r *Recorder) Records() []Record {
 	return append([]Record(nil), r.recs...)
 }
 
-// Reset discards all records.
+// Len returns the number of records.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// Reset discards all records, so one recorder can span multiple
+// measurements (record, analyze, Reset, record again).
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -175,15 +183,31 @@ func (r *Recorder) Report() string {
 }
 
 // Pearson returns the Pearson correlation coefficient of two equal-length
-// samples. It returns NaN for fewer than two points or zero variance.
+// samples. It returns NaN for fewer than two points or zero variance, and
+// panics on a length mismatch (a caller bug). Callers that prefer explicit
+// errors over panics/NaN should use Correlation.
 func Pearson(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("trace: Pearson length mismatch")
 	}
-	n := float64(len(x))
-	if len(x) < 2 {
+	r, err := Correlation(x, y)
+	if err != nil {
 		return math.NaN()
 	}
+	return r
+}
+
+// Correlation is Pearson with explicit errors: a length mismatch, fewer
+// than two samples, and zero variance each return a described error
+// instead of panicking or producing NaN.
+func Correlation(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("trace: correlation of mismatched samples (%d vs %d)", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("trace: correlation needs at least 2 samples, have %d", len(x))
+	}
+	n := float64(len(x))
 	var sx, sy float64
 	for i := range x {
 		sx += x[i]
@@ -198,7 +222,47 @@ func Pearson(x, y []float64) float64 {
 		vy += dy * dy
 	}
 	if vx == 0 || vy == 0 {
-		return math.NaN()
+		return 0, fmt.Errorf("trace: correlation undefined for zero-variance sample")
 	}
-	return cov / math.Sqrt(vx*vy)
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// PercentileTime returns the q-th percentile (0 ≤ q ≤ 1, linearly
+// interpolated) over ranks of the total time spent in the given operation
+// on communicators of the given size (0/"" match any). An empty selection
+// returns 0, never NaN, so an unpopulated recorder is safe to query.
+func (r *Recorder) PercentileTime(op string, commSize int, q float64) float64 {
+	r.mu.Lock()
+	perRank := map[int]float64{}
+	for _, rec := range r.recs {
+		if op != "" && rec.Op != op {
+			continue
+		}
+		if commSize != 0 && rec.CommSize != commSize {
+			continue
+		}
+		perRank[rec.Rank] += rec.End - rec.Start
+	}
+	r.mu.Unlock()
+	if len(perRank) == 0 {
+		return 0
+	}
+	vals := make([]float64, 0, len(perRank))
+	for _, v := range perRank {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(vals) {
+		return vals[len(vals)-1]
+	}
+	return vals[lo] + frac*(vals[lo+1]-vals[lo])
 }

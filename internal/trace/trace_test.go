@@ -88,3 +88,80 @@ func TestPearsonPanicsOnLengthMismatch(t *testing.T) {
 	}()
 	Pearson([]float64{1, 2}, []float64{1})
 }
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Correlation([]float64{1}, []float64{2}); err == nil {
+		t.Error("single sample: want error")
+	}
+	if _, err := Correlation(nil, nil); err == nil {
+		t.Error("empty samples: want error")
+	}
+	if _, err := Correlation([]float64{1, 2, 3}, []float64{5, 5, 5}); err == nil {
+		t.Error("zero variance: want error")
+	}
+	got, err := Correlation([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v, %v", got, err)
+	}
+}
+
+func TestEmptyRecorderQueries(t *testing.T) {
+	r := NewRecorder()
+	if got := r.TimeIn("Alltoall", 16); got != 0 {
+		t.Errorf("TimeIn on empty recorder = %v, want 0", got)
+	}
+	if got := r.MaxTimeIn("", 0); got != 0 {
+		t.Errorf("MaxTimeIn on empty recorder = %v, want 0", got)
+	}
+	if got := r.PercentileTime("", 0, 0.5); got != 0 || math.IsNaN(got) {
+		t.Errorf("PercentileTime on empty recorder = %v, want NaN-free 0", got)
+	}
+	if got := r.Len(); got != 0 {
+		t.Errorf("Len on empty recorder = %d", got)
+	}
+	if got := len(r.CommCount()); got != 0 {
+		t.Errorf("CommCount on empty recorder has %d entries", got)
+	}
+	if rep := r.Report(); rep == "" {
+		t.Error("Report on empty recorder should still render headers")
+	}
+}
+
+func TestPercentileTime(t *testing.T) {
+	r := NewRecorder()
+	// Four ranks with per-rank totals 1, 2, 3, 4.
+	for rank := 0; rank < 4; rank++ {
+		r.Collective(7, 4, "Alltoall", 1024, rank, 0, float64(rank+1))
+	}
+	if got := r.PercentileTime("Alltoall", 4, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := r.PercentileTime("Alltoall", 4, 1); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+	if got := r.PercentileTime("Alltoall", 4, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("p50 = %v, want 2.5", got)
+	}
+	if got := r.PercentileTime("Bcast", 0, 0.5); got != 0 {
+		t.Errorf("no matching op = %v, want 0", got)
+	}
+}
+
+func TestResetSpansMeasurements(t *testing.T) {
+	r := NewRecorder()
+	r.Collective(1, 2, "Allreduce", 64, 0, 0, 1)
+	r.Collective(1, 2, "Allreduce", 64, 1, 0, 3)
+	first := r.TimeIn("Allreduce", 2)
+	if first != 2 {
+		t.Errorf("first measurement mean = %v, want 2", first)
+	}
+	r.Reset()
+	r.Collective(1, 2, "Allreduce", 64, 0, 0, 5)
+	r.Collective(1, 2, "Allreduce", 64, 1, 0, 5)
+	if got := r.TimeIn("Allreduce", 2); got != 5 {
+		t.Errorf("second measurement mean = %v, want 5 (stale records survived Reset)", got)
+	}
+}
