@@ -10,8 +10,8 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the tier-1 gate: formatting, vet, build, and the full test
-# suite under the race detector.
+# check is the tier-1 gate: formatting, vet, build (including the serving
+# commands), and the full test suite under the race detector.
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -19,6 +19,7 @@ check:
 	fi
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) build ./cmd/mrserved ./cmd/mrload
 	$(GO) test -race ./...
 
 # bench regenerates the headline benchmark numbers as a JSON stream.

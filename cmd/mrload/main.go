@@ -1,0 +1,177 @@
+// Command mrload is a closed-loop load generator for mrserved: a fixed
+// number of workers each keep exactly one request in flight against a
+// mixed workload spanning all four query endpoints, then report
+// throughput and latency percentiles. It is the measurable baseline for
+// the serving path.
+//
+// Usage:
+//
+//	mrserved &
+//	mrload -url http://127.0.0.1:8077 -c 64 -d 10s
+//
+// The workload mixes distinct request shapes (different hierarchies,
+// orders, ranks, machines, collectives), so after a warm-up pass the
+// daemon serves from its result cache — the steady state the service is
+// designed for. Use -spread to multiply the number of distinct advise
+// scenarios and exercise the evaluation path instead.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mapd"
+)
+
+type shot struct {
+	endpoint string
+	body     []byte
+}
+
+// workload builds the pool of request bodies the workers cycle through.
+func workload(spread int) []shot {
+	var shots []shot
+	add := func(endpoint string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		shots = append(shots, shot{endpoint: endpoint, body: b})
+	}
+	hiers := []string{"2,2,4", "2,4,2,8", "16,2,2,8", "4,2,2,2,4"}
+	orders := map[string][]string{
+		"2,2,4":     {"", "0-1-2", "2-1-0", "1-2-0"},
+		"2,4,2,8":   {"", "3-2-1-0", "0-1-2-3", "2-1-0-3"},
+		"16,2,2,8":  {"", "3-2-1-0", "0-3-2-1"},
+		"4,2,2,2,4": {"", "4-3-2-1-0", "0-1-2-3-4"},
+	}
+	for _, h := range hiers {
+		for _, o := range orders[h] {
+			for _, r := range []int{0, 5, 13} {
+				rank := r
+				add("/v1/map", mapd.MapRequest{Hierarchy: h, Order: o, Rank: &rank})
+			}
+			add("/v1/map", mapd.MapRequest{Hierarchy: h, Order: o, Table: true})
+			add("/v1/metrics/order", mapd.OrderMetricsRequest{Hierarchy: h, Order: o})
+			add("/v1/select", mapd.SelectRequest{Hierarchy: h, Order: o, N: 8})
+		}
+	}
+	for i := 0; i < spread; i++ {
+		for _, m := range []string{"hydra", "lumi"} {
+			for _, coll := range []string{"alltoall", "allgather", "allreduce"} {
+				add("/v1/advise", mapd.AdviseRequest{
+					Machine:    m,
+					Nodes:      4 + 4*i,
+					Collective: coll,
+					CommSize:   16,
+					Bytes:      int64(1) << (20 + uint(i)%4),
+				})
+			}
+		}
+	}
+	return shots
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8077", "base URL of mrserved")
+	conc := flag.Int("c", 64, "concurrent closed-loop workers")
+	dur := flag.Duration("d", 10*time.Second, "measurement duration")
+	warmup := flag.Duration("warmup", 1*time.Second, "cache warm-up duration (not measured)")
+	spread := flag.Int("spread", 4, "distinct advise scenarios per machine×collective")
+	flag.Parse()
+
+	shots := workload(*spread)
+	transport := &http.Transport{
+		MaxIdleConns:        *conc * 2,
+		MaxIdleConnsPerHost: *conc * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	run := func(d time.Duration, measure bool) (int64, int64, []time.Duration) {
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			total     int64
+			errs      int64
+			latencies []time.Duration
+		)
+		deadline := time.Now().Add(d)
+		for w := 0; w < *conc; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				var mine []time.Duration
+				var n, bad int64
+				for time.Now().Before(deadline) {
+					s := shots[rng.Intn(len(shots))]
+					start := time.Now()
+					resp, err := client.Post(*url+s.endpoint, "application/json", bytes.NewReader(s.body))
+					elapsed := time.Since(start)
+					if err != nil {
+						bad++
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						bad++
+						continue
+					}
+					n++
+					if measure {
+						mine = append(mine, elapsed)
+					}
+				}
+				mu.Lock()
+				total += n
+				errs += bad
+				latencies = append(latencies, mine...)
+				mu.Unlock()
+			}(int64(w) + 1)
+		}
+		wg.Wait()
+		return total, errs, latencies
+	}
+
+	if *warmup > 0 {
+		if _, errs, _ := run(*warmup, false); errs > 0 {
+			fmt.Fprintf(os.Stderr, "mrload: %d errors during warm-up — is mrserved running at %s?\n", errs, *url)
+			os.Exit(1)
+		}
+	}
+	total, errs, latencies := run(*dur, true)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+
+	elapsed := dur.Seconds()
+	fmt.Printf("mrload: %d requests in %s with %d workers over %d request shapes\n",
+		total, *dur, *conc, len(shots))
+	fmt.Printf("  throughput  %10.0f req/s\n", float64(total)/elapsed)
+	fmt.Printf("  errors      %10d\n", errs)
+	if len(latencies) > 0 {
+		fmt.Printf("  latency p50 %10s\n", percentile(latencies, 0.50))
+		fmt.Printf("  latency p90 %10s\n", percentile(latencies, 0.90))
+		fmt.Printf("  latency p99 %10s\n", percentile(latencies, 0.99))
+		fmt.Printf("  latency max %10s\n", latencies[len(latencies)-1])
+	}
+	if errs > 0 {
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/cluster"
 	"repro/internal/hwdetect"
+	"repro/internal/mapd"
 	"repro/internal/netmodel"
 	"repro/internal/perm"
 	"repro/internal/procset"
@@ -26,8 +28,24 @@ func cmdAdvise(args []string) error {
 	size := fs.Int64("size", 16<<20, "total collective size in bytes")
 	simultaneous := fs.Bool("all", true, "all subcommunicators run simultaneously")
 	top := fs.Int("top", 5, "how many recommendations to print")
+	asJSON := fs.Bool("json", false, "emit the service's canonical /v1/advise response")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		resp, err := mapd.EvalAdvise(context.Background(), mapd.AdviseRequest{
+			Machine:      *machine,
+			Nodes:        *nodes,
+			Collective:   *coll,
+			CommSize:     *comm,
+			Bytes:        *size,
+			Simultaneous: *simultaneous,
+			Top:          *top,
+		}, advisor.RankOptions{})
+		if err != nil {
+			return err
+		}
+		return emitJSON(resp)
 	}
 	var spec netmodel.Spec
 	var h topology.Hierarchy

@@ -15,12 +15,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/mapd"
 	"repro/internal/metrics"
 	"repro/internal/mixedradix"
 	"repro/internal/perm"
@@ -86,6 +88,14 @@ hierarchies are written 2,2,4 or 2x2x4; orders 0-1-2 or 0,1,2.
 `)
 }
 
+// emitJSON prints v in the service's canonical wire format, so mrmap
+// output diffs cleanly against an mrserved response for the same query.
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 func parseInts(s string) ([]int, error) {
 	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == '-' || r == 'x' || r == ' ' })
 	out := make([]int, 0, len(fields))
@@ -103,8 +113,17 @@ func cmdDecompose(args []string) error {
 	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
 	hier := fs.String("h", "", "hierarchy, e.g. 2,2,4")
 	rank := fs.Int("rank", 0, "rank to decompose")
+	order := fs.String("order", "", "order sigma for the reordered rank (default identity)")
+	asJSON := fs.Bool("json", false, "emit the service's canonical /v1/map response")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		resp, err := mapd.EvalMap(mapd.MapRequest{Hierarchy: *hier, Order: *order, Rank: rank})
+		if err != nil {
+			return err
+		}
+		return emitJSON(resp)
 	}
 	h, err := topology.Parse(*hier)
 	if err != nil {
@@ -124,8 +143,20 @@ func cmdCompose(args []string) error {
 	hier := fs.String("h", "", "hierarchy")
 	coords := fs.String("coords", "", "coordinates, e.g. 1,0,2")
 	order := fs.String("order", "", "order sigma, e.g. 0-1-2")
+	asJSON := fs.Bool("json", false, "emit the service's canonical /v1/map response")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		c, err := parseInts(*coords)
+		if err != nil {
+			return err
+		}
+		resp, err := mapd.EvalMap(mapd.MapRequest{Hierarchy: *hier, Order: *order, Coords: c})
+		if err != nil {
+			return err
+		}
+		return emitJSON(resp)
 	}
 	h, err := topology.Parse(*hier)
 	if err != nil {
@@ -152,8 +183,16 @@ func cmdReorder(args []string) error {
 	hier := fs.String("h", "", "hierarchy")
 	order := fs.String("order", "", "order sigma")
 	rankfile := fs.Bool("rankfile", false, "emit an Open MPI-style rankfile instead of the table")
+	asJSON := fs.Bool("json", false, "emit the service's canonical /v1/map table response")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		resp, err := mapd.EvalMap(mapd.MapRequest{Hierarchy: *hier, Order: *order, Table: true})
+		if err != nil {
+			return err
+		}
+		return emitJSON(resp)
 	}
 	h, err := topology.Parse(*hier)
 	if err != nil {
@@ -181,6 +220,7 @@ func cmdOrders(args []string) error {
 	fs := flag.NewFlagSet("orders", flag.ExitOnError)
 	hier := fs.String("h", "", "hierarchy")
 	comm := fs.Int("comm", 0, "subcommunicator size for the metrics (default: innermost level)")
+	asJSON := fs.Bool("json", false, "emit canonical /v1/metrics/order responses, one per order")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -191,6 +231,19 @@ func cmdOrders(args []string) error {
 	commSize := *comm
 	if commSize == 0 {
 		commSize = h.Level(h.Depth() - 1).Arity
+	}
+	if *asJSON {
+		out := make([]*mapd.OrderMetricsResponse, 0, int(perm.Factorial(h.Depth())))
+		for _, sigma := range perm.All(h.Depth()) {
+			resp, err := mapd.EvalOrderMetrics(mapd.OrderMetricsRequest{
+				Hierarchy: *hier, Order: perm.Format(sigma), CommSize: commSize,
+			})
+			if err != nil {
+				return err
+			}
+			out = append(out, resp)
+		}
+		return emitJSON(out)
 	}
 	orders := perm.All(h.Depth())
 	fmt.Printf("hierarchy %s: %d orders, metrics for the first communicator of %d ranks\n",
@@ -227,8 +280,16 @@ func cmdMapCPU(args []string) error {
 	hier := fs.String("h", "", "per-node hierarchy, e.g. 2,4,2,8")
 	order := fs.String("order", "", "order sigma")
 	n := fs.Int("n", 0, "number of cores to select")
+	asJSON := fs.Bool("json", false, "emit the service's canonical /v1/select response")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		resp, err := mapd.EvalSelect(mapd.SelectRequest{Hierarchy: *hier, Order: *order, N: *n})
+		if err != nil {
+			return err
+		}
+		return emitJSON(resp)
 	}
 	h, err := topology.Parse(*hier)
 	if err != nil {

@@ -1,0 +1,80 @@
+// Command mrserved runs the mapping-advisory daemon: the internal/mapd
+// service behind a plain net/http server with production hygiene —
+// request body limits, per-evaluation timeouts, connection read/write
+// deadlines, and graceful shutdown on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	mrserved -addr 127.0.0.1:8077 -cache 4096 -timeout 10s
+//
+// Endpoints: POST /v1/map, /v1/advise, /v1/select, /v1/metrics/order;
+// GET /metrics (Prometheus), /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/mapd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	cache := flag.Int("cache", 4096, "result-cache capacity in entries (negative disables)")
+	shards := flag.Int("shards", 16, "result-cache shard count")
+	workers := flag.Int("workers", 0, "advisor worker-pool size per evaluation (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-evaluation budget")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body in bytes")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	srv := mapd.New(mapd.Config{
+		CacheEntries:  *cache,
+		CacheShards:   *shards,
+		AdviseWorkers: *workers,
+		MaxBody:       *maxBody,
+		Timeout:       *timeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *timeout + 5*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mrserved: listening on http://%s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mrserved:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("mrserved: signal received, draining for up to %s", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("mrserved: forced shutdown: %v", err)
+			_ = httpSrv.Close()
+		}
+		log.Printf("mrserved: bye")
+	}
+}

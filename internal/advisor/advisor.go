@@ -12,8 +12,8 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/mixedradix"
@@ -240,25 +240,11 @@ func crossingBytes(coll Collective, cores []int, domSize, dom, a, p int, B float
 
 // Recommend ranks the given orders by predicted bandwidth (best first).
 // With a nil order list it enumerates all k! orders of the hierarchy.
+// Equal-bandwidth orders sort by lexicographic order permutation so the
+// ranking is deterministic. Recommend is the sequential convenience form of
+// Rank.
 func Recommend(sc Scenario, orders [][]int) ([]Prediction, error) {
-	if orders == nil {
-		orders = perm.All(sc.Hierarchy.Depth())
-	}
-	out := make([]Prediction, 0, len(orders))
-	for _, sigma := range orders {
-		pr, err := Predict(sc, sigma)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pr)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bandwidth != out[j].Bandwidth {
-			return out[i].Bandwidth > out[j].Bandwidth
-		}
-		return perm.Format(out[i].Order) < perm.Format(out[j].Order)
-	})
-	return out, nil
+	return Rank(context.Background(), sc, orders, RankOptions{Workers: 1})
 }
 
 // Best returns the top recommendation.

@@ -1,0 +1,137 @@
+// Chunked, cancellable order ranking: the k! candidate orders are split
+// into fixed-size chunks and evaluated by a bounded worker pool, so a
+// long-lived service can rank orders for many clients concurrently and
+// abandon evaluations whose request has gone away.
+
+package advisor
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/perm"
+)
+
+// RankOptions bounds the parallel evaluation of Rank.
+type RankOptions struct {
+	// Workers is the number of evaluation goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Chunk is the number of orders one work unit evaluates; 0 picks a size
+	// that gives each worker several chunks (for cancellation latency and
+	// load balance).
+	Chunk int
+}
+
+func (o RankOptions) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o RankOptions) chunk(n, workers int) int {
+	c := o.Chunk
+	if c <= 0 {
+		// Aim for ~4 chunks per worker so stragglers rebalance and
+		// cancellation is noticed between chunks.
+		c = n / (4 * workers)
+		if c < 1 {
+			c = 1
+		}
+	}
+	return c
+}
+
+// Rank evaluates the given orders (all k! of the hierarchy when nil) with a
+// bounded worker pool and returns them ranked by predicted bandwidth, best
+// first. Equal-bandwidth orders sort by lexicographic order permutation, so
+// the ranking is deterministic across runs and safe to cache. Rank stops
+// early and returns ctx.Err() when the context is cancelled.
+func Rank(ctx context.Context, sc Scenario, orders [][]int, opts RankOptions) ([]Prediction, error) {
+	if orders == nil {
+		orders = perm.All(sc.Hierarchy.Depth())
+	}
+	n := len(orders)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := opts.workers(n)
+	chunk := opts.chunk(n, workers)
+
+	out := make([]Prediction, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type unit struct{ lo, hi int }
+	units := make(chan unit)
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstEr = err })
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range units {
+				for i := u.lo; i < u.hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					pr, err := Predict(sc, orders[i])
+					if err != nil {
+						fail(err)
+						return
+					}
+					out[i] = pr
+				}
+			}
+		}()
+	}
+feed:
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		select {
+		case units <- unit{lo, hi}:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(units)
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sortPredictions(out)
+	return out, nil
+}
+
+// sortPredictions orders predictions by bandwidth (best first), breaking
+// ties by lexicographic order permutation.
+func sortPredictions(ps []Prediction) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Bandwidth != ps[j].Bandwidth {
+			return ps[i].Bandwidth > ps[j].Bandwidth
+		}
+		return perm.Less(ps[i].Order, ps[j].Order)
+	})
+}

@@ -1,0 +1,125 @@
+// Sharded LRU result cache. Keys are the canonical request keys of
+// types.go; values are fully marshalled response bodies, so a hit is a
+// single lock, a map lookup, and a write — no re-evaluation, no
+// re-marshalling. Sharding by key hash keeps lock contention flat as
+// client concurrency grows.
+
+package mapd
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU cache split into power-of-two shards.
+type Cache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache holding up to capacity entries in total, spread
+// over shards (rounded up to a power of two; 0 picks 16). A capacity ≤ 0
+// disables caching: Get always misses and Put drops.
+func NewCache(capacity, shards int) *Cache {
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if capacity > 0 && n > capacity {
+		n = 1
+	}
+	c := &Cache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	per := 0
+	if capacity > 0 {
+		per = (capacity + n - 1) / n
+	}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+// fnv32a is the 32-bit FNV-1a hash used to pick a shard.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[fnv32a(key)&c.mask]
+}
+
+// Get returns the cached body for key. The returned slice is shared; the
+// caller must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(e)
+	return e.Value.(*cacheEntry).val, true
+}
+
+// Put stores the body under key, evicting the least recently used entry of
+// the shard when full.
+func (c *Cache) Put(key string, val []byte) {
+	s := c.shard(key)
+	if s.cap <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		e.Value.(*cacheEntry).val = val
+		s.order.MoveToFront(e)
+		return
+	}
+	if s.order.Len() >= s.cap {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.items, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package mapd
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMissAndUpdate(t *testing.T) {
+	c := NewCache(8, 2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", []byte("1"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("a", []byte("2"))
+	if v, _ := c.Get("a"); string(v) != "2" {
+		t.Fatalf("update lost: %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One shard makes the LRU order fully observable.
+	c := NewCache(2, 1)
+	c.Put("a", []byte("a"))
+	c.Put("b", []byte("b"))
+	c.Get("a") // a is now more recently used than b
+	c.Put("c", []byte("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction but was least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s was evicted but should have been retained", k)
+		}
+	}
+}
+
+func TestCacheCapacityBound(t *testing.T) {
+	const capacity = 64
+	c := NewCache(capacity, 16)
+	for i := 0; i < 10*capacity; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	// Per-shard rounding may admit slightly more than capacity, never more
+	// than one extra entry per shard.
+	if n := c.Len(); n > capacity+16 {
+		t.Errorf("cache holds %d entries, capacity %d over 16 shards", n, capacity)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1, 4)
+	c.Put("a", []byte("1"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(128, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := fmt.Sprintf("key-%d", i%200)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("Get(%s) returned %q", k, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestFlightGroupSequential(t *testing.T) {
+	var g flightGroup
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() ([]byte, error) {
+			calls++
+			return []byte("v"), nil
+		})
+		if err != nil || string(v) != "v" || shared {
+			t.Fatalf("Do = %q, %v, shared=%v", v, err, shared)
+		}
+	}
+	// Sequential callers never overlap, so each runs its own evaluation.
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestFlightGroupConcurrent(t *testing.T) {
+	var g flightGroup
+	const n = 16
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var calls, sharedCount int
+	var mu sync.Mutex
+	g.onShared = func() {
+		mu.Lock()
+		sharedCount++
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, _ := g.Do("k", func() ([]byte, error) {
+				close(entered)
+				<-gate
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return []byte("v"), nil
+			})
+			if err != nil || string(v) != "v" {
+				t.Errorf("Do = %q, %v", v, err)
+			}
+		}()
+	}
+	<-entered
+	// Wait for every follower to join, then release the leader. The leader
+	// is parked on gate, so joining is the only way forward.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		joined := sharedCount
+		mu.Unlock()
+		if joined == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(gate)
+			t.Fatalf("only %d of %d followers joined the flight", joined, n-1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers, want 1", calls, n)
+	}
+}

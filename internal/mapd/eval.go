@@ -1,0 +1,160 @@
+// Pure evaluation of the canonical requests: no HTTP, no caching. The
+// service handlers and the mrmap -json mode both call these, so CLI and
+// API outputs are byte-for-byte diffable.
+
+package mapd
+
+import (
+	"context"
+
+	"repro/internal/advisor"
+	"repro/internal/metrics"
+	"repro/internal/mixedradix"
+	"repro/internal/slurm"
+)
+
+// EvalMap answers a MapRequest. Errors wrap ErrBadRequest.
+func EvalMap(req MapRequest) (*MapResponse, error) {
+	q, err := req.parse()
+	if err != nil {
+		return nil, err
+	}
+	return evalMap(q)
+}
+
+func evalMap(q *parsedMap) (*MapResponse, error) {
+	resp := &MapResponse{
+		Hierarchy: q.arities,
+		Levels:    q.h.Names(),
+		Order:     q.sigma,
+	}
+	switch {
+	case q.rank != nil:
+		resp.Rank = q.rank
+		resp.Coords = mixedradix.Decompose(q.arities, *q.rank)
+		nr := mixedradix.NewRank(q.arities, *q.rank, q.sigma)
+		resp.NewRank = &nr
+	case q.coords != nil:
+		resp.Coords = q.coords
+		nr, err := mixedradix.ComposeChecked(q.arities, q.coords, q.sigma)
+		if err != nil {
+			return nil, badf("%v", err)
+		}
+		resp.NewRank = &nr
+	}
+	if q.table {
+		table, err := mixedradix.ReorderAll(q.arities, q.sigma)
+		if err != nil {
+			return nil, badf("%v", err)
+		}
+		resp.Table = table
+	}
+	return resp, nil
+}
+
+// EvalAdvise answers an AdviseRequest, ranking all k! orders with the
+// advisor's worker pool. Errors wrap ErrBadRequest except when the context
+// is cancelled. Errors wrap ErrBadRequest.
+func EvalAdvise(ctx context.Context, req AdviseRequest, opts advisor.RankOptions) (*AdviseResponse, error) {
+	q, err := req.parse()
+	if err != nil {
+		return nil, err
+	}
+	return evalAdvise(ctx, q, opts)
+}
+
+func evalAdvise(ctx context.Context, q *parsedAdvise, opts advisor.RankOptions) (*AdviseResponse, error) {
+	sc := q.scenario()
+	ranked, err := advisor.Rank(ctx, sc, nil, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, badf("%v", err)
+	}
+	top := q.top
+	if top > len(ranked) {
+		top = len(ranked)
+	}
+	resp := &AdviseResponse{
+		Machine:   q.machine,
+		Hierarchy: sc.Hierarchy.Arities(),
+		Evaluated: len(ranked),
+		Best:      make([]AdvisePrediction, top),
+		Worst:     advisePrediction(sc, ranked[len(ranked)-1]),
+	}
+	for i := 0; i < top; i++ {
+		resp.Best[i] = advisePrediction(sc, ranked[i])
+	}
+	return resp, nil
+}
+
+func advisePrediction(sc advisor.Scenario, pr advisor.Prediction) AdvisePrediction {
+	return AdvisePrediction{
+		Order:           pr.Order,
+		Seconds:         pr.Time,
+		BandwidthMBs:    pr.Bandwidth / 1e6,
+		BottleneckLevel: pr.BottleneckLevel,
+		Explain:         advisor.Explain(sc, pr),
+	}
+}
+
+// EvalSelect answers a SelectRequest. Errors wrap ErrBadRequest.
+func EvalSelect(req SelectRequest) (*SelectResponse, error) {
+	q, err := req.parse()
+	if err != nil {
+		return nil, err
+	}
+	return evalSelect(q)
+}
+
+func evalSelect(q *parsedSelect) (*SelectResponse, error) {
+	list, err := slurm.MapCPU(q.h, q.sigma, q.n)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	resp := &SelectResponse{
+		Hierarchy: q.arities,
+		Order:     q.sigma,
+		N:         q.n,
+		MapCPU:    list,
+		CPUBind:   slurm.FormatMapCPU(list),
+	}
+	if induced, err := slurm.InducedHierarchy(q.h, list); err == nil {
+		resp.Induced = induced
+		resp.Uniform = true
+	} else {
+		resp.Reason = err.Error()
+	}
+	return resp, nil
+}
+
+// EvalOrderMetrics answers an OrderMetricsRequest. Errors wrap
+// ErrBadRequest.
+func EvalOrderMetrics(req OrderMetricsRequest) (*OrderMetricsResponse, error) {
+	q, err := req.parse()
+	if err != nil {
+		return nil, err
+	}
+	return evalOrderMetrics(q)
+}
+
+func evalOrderMetrics(q *parsedOrderMetrics) (*OrderMetricsResponse, error) {
+	ch, err := metrics.Characterize(q.h, q.sigma, q.comm)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	resp := &OrderMetricsResponse{
+		Hierarchy:     q.arities,
+		Order:         q.sigma,
+		CommSize:      q.comm,
+		RingCost:      ch.RingCost,
+		PairsPerLevel: ch.Pairs,
+		SpreadScore:   ch.SpreadScore(),
+		Legend:        ch.String(),
+	}
+	if d, ok := slurm.DistributionForOrder(q.h, q.sigma); ok {
+		resp.Distribution = d.String()
+	}
+	return resp, nil
+}

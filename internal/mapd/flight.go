@@ -1,0 +1,53 @@
+// Singleflight: concurrent requests for the same canonical key share one
+// evaluation. This matters most for /v1/advise, where a cold-cache burst
+// of identical requests would otherwise each run the full k! order search.
+// (Hand-rolled because the repo deliberately has no external deps.)
+
+package mapd
+
+import "sync"
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// flightGroup deduplicates in-flight work by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+	// onShared, when set, is called (outside the lock) each time a caller
+	// joins an existing flight instead of starting its own. The server uses
+	// it to count collapsed evaluations; tests use it as a sync point.
+	onShared func()
+}
+
+// Do runs fn once per key among concurrent callers: the first caller
+// executes it, the rest block and receive the same result. shared reports
+// whether this caller joined an existing flight.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		if g.onShared != nil {
+			g.onShared()
+		}
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

@@ -1,0 +1,312 @@
+// The HTTP/JSON service: four query endpoints behind a shared
+// cache → singleflight → evaluate pipeline, a Prometheus /metrics
+// endpoint, and structured error responses. Every request is bounded — a
+// body-size cap before parsing, validation limits in parse.go, and a
+// per-evaluation timeout — so the daemon stays predictable under abusive
+// or accidental load.
+
+package mapd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/obs"
+)
+
+// Config tunes a Server. The zero value picks production defaults.
+type Config struct {
+	// CacheEntries bounds the result cache (default 4096; negative
+	// disables caching).
+	CacheEntries int
+	// CacheShards is the shard count of the cache (default 16, rounded up
+	// to a power of two).
+	CacheShards int
+	// AdviseWorkers bounds the worker pool of one order-ranking evaluation
+	// (default GOMAXPROCS).
+	AdviseWorkers int
+	// MaxBody caps the request body in bytes (default 1 MiB).
+	MaxBody int64
+	// Timeout bounds one evaluation (default 10 s). Evaluations run on a
+	// context detached from the client connection so a singleflight result
+	// survives its first requester hanging up.
+	Timeout time.Duration
+	// Registry receives the service metrics (default: a fresh registry).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the mapping-advisory service.
+type Server struct {
+	cfg    Config
+	cache  *Cache
+	flight flightGroup
+	reg    *obs.Registry
+
+	inflight *obs.Gauge
+	shared   *obs.Counter
+	evals    *obs.Counter
+
+	// evalHook, when non-nil, runs inside each advise evaluation before the
+	// order search starts. Tests use it as a synchronization point.
+	evalHook func()
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries, cfg.CacheShards),
+		reg:      cfg.Registry,
+		inflight: cfg.Registry.Gauge("mapd_inflight_requests"),
+		shared:   cfg.Registry.Counter("mapd_singleflight_shared_total"),
+		evals:    cfg.Registry.Counter("mapd_advise_evals_total"),
+	}
+	s.flight.onShared = func() { s.shared.Add(1) }
+	return s
+}
+
+// Registry returns the server's metric registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /v1/map            rank ⇄ coordinates (Algorithms 1–2)
+//	POST /v1/advise         rank the k! orders analytically (§5)
+//	POST /v1/select         --cpu-bind=map_cpu core list (Algorithm 3)
+//	POST /v1/metrics/order  ring cost & pairs per level (§3.3)
+//	GET  /metrics           Prometheus exposition of the registry
+//	GET  /healthz           liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/map", s.serve("map", func(body []byte) (string, computeFunc, error) {
+		var req MapRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", nil, err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", nil, err
+		}
+		return q.Key(), func(context.Context) (any, error) { return evalMap(q) }, nil
+	}))
+	mux.HandleFunc("/v1/advise", s.serve("advise", func(body []byte) (string, computeFunc, error) {
+		var req AdviseRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", nil, err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", nil, err
+		}
+		return q.Key(), func(ctx context.Context) (any, error) {
+			if s.evalHook != nil {
+				s.evalHook()
+			}
+			s.evals.Add(1)
+			return evalAdvise(ctx, q, advisor.RankOptions{Workers: s.cfg.AdviseWorkers})
+		}, nil
+	}))
+	mux.HandleFunc("/v1/select", s.serve("select", func(body []byte) (string, computeFunc, error) {
+		var req SelectRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", nil, err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", nil, err
+		}
+		return q.Key(), func(context.Context) (any, error) { return evalSelect(q) }, nil
+	}))
+	mux.HandleFunc("/v1/metrics/order", s.serve("metrics_order", func(body []byte) (string, computeFunc, error) {
+		var req OrderMetricsRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", nil, err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", nil, err
+		}
+		return q.Key(), func(context.Context) (any, error) { return evalOrderMetrics(q) }, nil
+	}))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.WritePrometheus(w, s.reg)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	return mux
+}
+
+// computeFunc evaluates one parsed request.
+type computeFunc func(ctx context.Context) (any, error)
+
+// parseFunc turns a request body into a canonical cache key and a compute
+// closure. Returned errors are client errors.
+type parseFunc func(body []byte) (string, computeFunc, error)
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing data,
+// so typos fail loudly instead of silently evaluating defaults.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badf("invalid JSON: %v", err)
+	}
+	if dec.More() {
+		return badf("invalid JSON: trailing data after request object")
+	}
+	return nil
+}
+
+// serve wraps an endpoint with the shared pipeline: method check, body
+// limit, parse, cache lookup, singleflight evaluation, metrics.
+func (s *Server) serve(name string, parse parseFunc) http.HandlerFunc {
+	hits := s.reg.Counter("mapd_cache_hits_total", obs.L("endpoint", name))
+	misses := s.reg.Counter("mapd_cache_misses_total", obs.L("endpoint", name))
+	latency := s.reg.Histogram("mapd_request_seconds", obs.WallBuckets(), obs.L("endpoint", name))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Add(1)
+		code := http.StatusOK
+		defer func() {
+			s.inflight.Add(-1)
+			latency.Observe(time.Since(start).Seconds())
+			s.reg.Counter("mapd_requests_total",
+				obs.L("endpoint", name), obs.L("code", strconv.Itoa(code))).Add(1)
+		}()
+		if r.Method != http.MethodPost {
+			code = writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBody))
+			} else {
+				code = writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+			}
+			return
+		}
+		key, compute, err := parse(body)
+		if err != nil {
+			code = writeError(w, http.StatusBadRequest, clientMessage(err))
+			return
+		}
+		if cached, ok := s.cache.Get(key); ok {
+			hits.Add(1)
+			writeJSON(w, cached)
+			return
+		}
+		misses.Add(1)
+		val, err, _ := s.flight.Do(key, func() ([]byte, error) {
+			// Detached from the client connection: a singleflight result is
+			// shared, so it must not die with its first requester.
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+			defer cancel()
+			resp, err := compute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal(resp)
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, '\n')
+			s.cache.Put(key, b)
+			return b, nil
+		})
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrBadRequest):
+				code = writeError(w, http.StatusBadRequest, clientMessage(err))
+			case errors.Is(err, context.DeadlineExceeded):
+				code = writeError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("evaluation exceeded the %s budget", s.cfg.Timeout))
+			default:
+				code = writeError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		writeJSON(w, val)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// writeError emits the structured error envelope and returns the code so
+// callers can record it.
+func writeError(w http.ResponseWriter, code int, msg string) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(errorBody{Error: errorDetail{
+		Code:    code,
+		Status:  statusSlug(code),
+		Message: msg,
+	}})
+	_, _ = w.Write(append(body, '\n'))
+	return code
+}
+
+func statusSlug(code int) string {
+	switch code {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
+// clientMessage strips the ErrBadRequest prefix for response bodies.
+func clientMessage(err error) string {
+	msg := err.Error()
+	const prefix = "mapd: bad request: "
+	if len(msg) > len(prefix) && msg[:len(prefix)] == prefix {
+		return msg[len(prefix):]
+	}
+	return msg
+}

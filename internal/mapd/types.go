@@ -1,0 +1,190 @@
+// Package mapd is the mapping-advisory service: a long-lived, concurrent
+// front end for the repo's core queries — rank decompose/compose, order
+// recommendation (the §5 outlook implemented by internal/advisor),
+// --cpu-bind=map_cpu core selection (Algorithm 3), and the §3.3 order
+// metrics. Results are canonicalized, cached in a sharded LRU, and
+// deduplicated in flight with a singleflight layer so a burst of identical
+// advisor evaluations runs the k! search once.
+//
+// The request/response structs below are the service's wire format; the
+// mrmap CLI emits the same structs under -json so CLI and API outputs are
+// diffable.
+package mapd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MapRequest asks for rank ⇄ coordinate conversion (Algorithms 1 and 2)
+// under a hierarchy and order. Exactly one of Rank, Coords, or Table must
+// be set:
+//
+//   - Rank: decompose the rank into coordinates and compute its reordered
+//     rank under Order.
+//   - Coords: compose the coordinates into the reordered rank.
+//   - Table: return the full old-rank → new-rank mapping table.
+//
+// Order defaults to the identity order (the initial enumeration,
+// Figure 2f), which leaves ranks unchanged.
+type MapRequest struct {
+	Hierarchy string `json:"hierarchy"`
+	Order     string `json:"order,omitempty"`
+	Rank      *int   `json:"rank,omitempty"`
+	Coords    []int  `json:"coords,omitempty"`
+	Table     bool   `json:"table,omitempty"`
+}
+
+// MapResponse is the canonical answer to a MapRequest.
+type MapResponse struct {
+	Hierarchy []int    `json:"hierarchy"`
+	Levels    []string `json:"levels"`
+	Order     []int    `json:"order"`
+	Rank      *int     `json:"rank,omitempty"`     // echo of the decomposed rank
+	Coords    []int    `json:"coords,omitempty"`   // coordinates of Rank (or echo)
+	NewRank   *int     `json:"new_rank,omitempty"` // reordered rank under Order
+	Table     []int    `json:"table,omitempty"`    // table[old] = new
+}
+
+// AdviseRequest asks the analytic advisor to rank hierarchy orders for a
+// machine model and collective scenario.
+type AdviseRequest struct {
+	// Machine is a built-in model: "hydra", "hydra-real", or "lumi".
+	Machine string `json:"machine"`
+	// Nodes is the compute-node count (default 16).
+	Nodes int `json:"nodes,omitempty"`
+	// NICs per node (hydra models only; default 1).
+	NICs int `json:"nics,omitempty"`
+	// Collective: "alltoall", "allgather", or "allreduce".
+	Collective string `json:"collective"`
+	// CommSize is the subcommunicator size.
+	CommSize int `json:"comm_size"`
+	// Bytes is the total collective size S (default 16 MiB).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Simultaneous: all subcommunicators run the collective at once.
+	Simultaneous bool `json:"simultaneous,omitempty"`
+	// Top bounds how many ranked orders the response carries (default 5,
+	// 0 < Top ≤ 64).
+	Top int `json:"top,omitempty"`
+}
+
+// AdvisePrediction is one ranked order of an AdviseResponse.
+type AdvisePrediction struct {
+	Order           []int   `json:"order"`
+	Seconds         float64 `json:"seconds"`
+	BandwidthMBs    float64 `json:"bandwidth_mbs"`
+	BottleneckLevel int     `json:"bottleneck_level"` // -1: latency-bound
+	Explain         string  `json:"explain"`
+}
+
+// AdviseResponse carries the head (and tail) of the deterministic ranking.
+type AdviseResponse struct {
+	Machine   string             `json:"machine"`
+	Hierarchy []int              `json:"hierarchy"`
+	Evaluated int                `json:"evaluated"` // orders ranked (k!)
+	Best      []AdvisePrediction `json:"best"`
+	Worst     AdvisePrediction   `json:"worst"`
+}
+
+// SelectRequest asks for the --cpu-bind=map_cpu core list that places N
+// ranks on one node under an order (Algorithm 3).
+type SelectRequest struct {
+	Hierarchy string `json:"hierarchy"` // per-node hierarchy
+	Order     string `json:"order"`
+	N         int    `json:"n"`
+}
+
+// SelectResponse is the canonical answer to a SelectRequest.
+type SelectResponse struct {
+	Hierarchy []int  `json:"hierarchy"`
+	Order     []int  `json:"order"`
+	N         int    `json:"n"`
+	MapCPU    []int  `json:"map_cpu"`  // position r: core hosting rank r
+	CPUBind   string `json:"cpu_bind"` // ready-made --cpu-bind value
+	// Induced is the hierarchy formed by the selected cores (§3.4), absent
+	// when the selection is structurally non-uniform.
+	Induced []int  `json:"induced,omitempty"`
+	Uniform bool   `json:"uniform"`
+	Reason  string `json:"reason,omitempty"` // why the selection is non-uniform
+}
+
+// OrderMetricsRequest asks for the §3.3 characterization of one order.
+type OrderMetricsRequest struct {
+	Hierarchy string `json:"hierarchy"`
+	Order     string `json:"order"`
+	// CommSize of the first subcommunicator (default: innermost arity).
+	CommSize int `json:"comm_size,omitempty"`
+}
+
+// OrderMetricsResponse is the canonical answer to an OrderMetricsRequest.
+type OrderMetricsResponse struct {
+	Hierarchy []int `json:"hierarchy"`
+	Order     []int `json:"order"`
+	CommSize  int   `json:"comm_size"`
+	RingCost  int   `json:"ring_cost"`
+	// PairsPerLevel[j]: percentage of process pairs whose communication
+	// crosses j levels above the innermost (index 0 = fits lowest level).
+	PairsPerLevel []float64 `json:"pairs_per_level"`
+	SpreadScore   float64   `json:"spread_score"`
+	// Distribution is the equivalent Slurm --distribution value, when one
+	// exists.
+	Distribution string `json:"distribution,omitempty"`
+	Legend       string `json:"legend"` // figure-legend rendering
+}
+
+// errorBody is the structured error envelope of every non-2xx response.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    int    `json:"code"`
+	Status  string `json:"status"`
+	Message string `json:"message"`
+}
+
+// intsKey renders ints compactly for cache keys.
+func intsKey(v []int) string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+// Key returns the canonical cache key of the parsed request. Requests that
+// differ only in surface syntax ("2x2x4" vs "[2, 2, 4]", "0-1-2" vs
+// "0,1,2") share a key.
+func (q *parsedMap) Key() string {
+	k := "map|" + intsKey(q.arities) + "|" + intsKey(q.sigma) + "|"
+	switch {
+	case q.rank != nil:
+		k += "r" + strconv.Itoa(*q.rank)
+	case q.coords != nil:
+		k += "c" + intsKey(q.coords)
+	}
+	if q.table {
+		k += "|t"
+	}
+	return k
+}
+
+// Key returns the canonical cache key of the parsed request.
+func (q *parsedAdvise) Key() string {
+	return fmt.Sprintf("advise|%s|%d|%d|%s|%d|%d|%v|%d",
+		q.machine, q.nodes, q.nics, q.coll, q.comm, q.bytes, q.simultaneous, q.top)
+}
+
+// Key returns the canonical cache key of the parsed request.
+func (q *parsedSelect) Key() string {
+	return "select|" + intsKey(q.arities) + "|" + intsKey(q.sigma) + "|" + strconv.Itoa(q.n)
+}
+
+// Key returns the canonical cache key of the parsed request.
+func (q *parsedOrderMetrics) Key() string {
+	return "metrics|" + intsKey(q.arities) + "|" + intsKey(q.sigma) + "|" + strconv.Itoa(q.comm)
+}

@@ -157,6 +157,17 @@ func (g *Gauge) Set(v float64) {
 	g.mu.Unlock()
 }
 
+// Add adjusts the gauge by delta (for up/down quantities like in-flight
+// request counts).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v, g.set = g.v+delta, true
+	g.mu.Unlock()
+}
+
 // SetMax stores v if it exceeds the current value (or none is set).
 func (g *Gauge) SetMax(v float64) {
 	if g == nil {

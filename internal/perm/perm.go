@@ -127,6 +127,20 @@ func Equal(p, q []int) bool {
 	return true
 }
 
+// Less reports whether p precedes q in element-wise lexicographic order,
+// with a shorter permutation preceding any longer one it prefixes. Unlike
+// comparing Format strings, Less is correct for k ≥ 10 ("10" sorts before
+// "2" as a string but not as an element), so it is the tie-break used to
+// keep rankings deterministic.
+func Less(p, q []int) bool {
+	for i := 0; i < len(p) && i < len(q); i++ {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return len(p) < len(q)
+}
+
 // Factorial returns k! for k ≥ 0. It panics if the result overflows int64.
 func Factorial(k int) int64 {
 	if k < 0 {
