@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check race bench clean
 
 all: build
 
@@ -10,8 +10,14 @@ build:
 test:
 	$(GO) test ./...
 
+# race runs the concurrency-heavy packages under the race detector: the
+# service, the simulator core, and the fault-injection layer.
+race:
+	$(GO) test -race ./internal/mapd/... ./internal/sim/... ./internal/fault/... ./internal/mpi/...
+
 # check is the tier-1 gate: formatting, vet, build (including the serving
-# commands), and the full test suite under the race detector.
+# commands), the full test suite under the race detector, and a fault
+# injection smoke run of the benchmark driver.
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -21,6 +27,8 @@ check:
 	$(GO) build ./...
 	$(GO) build ./cmd/mrserved ./cmd/mrload
 	$(GO) test -race ./...
+	$(GO) run ./cmd/mrbench -fig 3 -maxsize 16KB -iters 1 \
+		-faults "straggle:rank=3,factor=4;link:level=1,degrade=0.8" > /dev/null
 
 # bench regenerates the headline benchmark numbers as a JSON stream.
 bench:

@@ -9,9 +9,11 @@
 //	mrbench -fig 3                  # one figure at paper scale
 //	mrbench -fig 0 -maxsize 8MB     # all figures, truncated size sweep
 //	mrbench -legend                 # only print the legend metrics
+//	mrbench -fig 3 -maxsize 1MB -faults "straggle:rank=3,factor=4"
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/figures"
 	"repro/internal/obs"
 	"repro/internal/study"
@@ -35,7 +38,23 @@ func main() {
 	studySize := flag.String("studysize", "16MB", "total collective size for -study")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metricsOut := flag.String("metrics", "", "write Prometheus text metrics of the run to this file")
+	faults := flag.String("faults", "", "deterministic fault plan (DSL or JSON, see internal/fault) injected into every run")
+	faultSeed := flag.Int64("faultseed", 0, "override the fault plan's seed (for chaos events)")
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faults != "" {
+		var err error
+		plan, err = fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrbench:", err)
+			os.Exit(2)
+		}
+		if *faultSeed != 0 {
+			plan.Seed = *faultSeed
+		}
+		fmt.Printf("fault plan %q (hash %s)\n", plan.String(), plan.Hash())
+	}
 
 	var sc *obs.Scope
 	if *traceOut != "" || *metricsOut != "" {
@@ -71,10 +90,10 @@ func main() {
 		cfg := figures.Figure3(nil).Config
 		cfg.Iters = *iters
 		cfg.MPI.Obs = sc
+		cfg.MPI.Faults = plan
 		res, err := study.Run(cfg, size)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mrbench:", err)
-			os.Exit(1)
+			reportRunError(err)
 		}
 		fmt.Print(res.Render())
 		writeArtifacts()
@@ -113,10 +132,10 @@ func main() {
 		mb := all[f]
 		mb.Config.Iters = *iters
 		mb.Config.MPI.Obs = sc
+		mb.Config.MPI.Faults = plan
 		series, err := bench.Run(mb.Config)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mrbench:", err)
-			os.Exit(1)
+			reportRunError(err)
 		}
 		fmt.Println(figures.RenderSeries(mb, series))
 		if *csvDir != "" {
@@ -134,6 +153,18 @@ func main() {
 		}
 	}
 	writeArtifacts()
+}
+
+// reportRunError distinguishes a benchmark aborted by an injected kill
+// (the typed rank-lost error, expected under crash plans) from genuine
+// failures, then exits nonzero.
+func reportRunError(err error) {
+	if errors.Is(err, fault.ErrRankLost) {
+		fmt.Fprintln(os.Stderr, "mrbench: benchmark aborted by injected fault:", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "mrbench:", err)
+	}
+	os.Exit(1)
 }
 
 func parseSize(s string) (int64, error) {

@@ -1,19 +1,25 @@
 // Command mrload is a closed-loop load generator for mrserved: a fixed
 // number of workers each keep exactly one request in flight against a
-// mixed workload spanning all four query endpoints, then report
-// throughput and latency percentiles. It is the measurable baseline for
-// the serving path.
+// mixed workload spanning all four query endpoints, then report goodput
+// and latency percentiles. It is the measurable baseline for the serving
+// path, and doubles as the degraded-mode probe: failed attempts are
+// classified (shed 503s, other 5xx, 4xx, transport errors) and retried
+// with capped exponential backoff plus jitter, honouring Retry-After.
 //
 // Usage:
 //
 //	mrserved &
 //	mrload -url http://127.0.0.1:8077 -c 64 -d 10s
+//	mrload -retries 5 -backoff 5ms -maxbackoff 500ms   # overload runs
 //
 // The workload mixes distinct request shapes (different hierarchies,
 // orders, ranks, machines, collectives), so after a warm-up pass the
 // daemon serves from its result cache — the steady state the service is
 // designed for. Use -spread to multiply the number of distinct advise
 // scenarios and exercise the evaluation path instead.
+//
+// Exit status is 1 only when not a single request succeeded; a degraded
+// run with nonzero goodput exits 0 so overload experiments can record it.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -81,6 +88,120 @@ func workload(spread int) []shot {
 	return shots
 }
 
+// retryPolicy tunes the client-side retry loop.
+type retryPolicy struct {
+	retries    int           // retry attempts after the first try
+	backoff    time.Duration // base delay, doubled per attempt
+	maxBackoff time.Duration // delay cap
+	sleep      func(time.Duration)
+}
+
+// delay computes the capped exponential backoff with full jitter for the
+// given zero-based attempt, raised to at least the server's Retry-After
+// hint when one was sent.
+func (p retryPolicy) delay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	d := p.backoff << uint(attempt)
+	if d > p.maxBackoff || d <= 0 {
+		d = p.maxBackoff
+	}
+	// Full jitter in [d/2, d): staggers synchronized retry herds.
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// outcome tallies what happened to one logical request (including all its
+// retry attempts).
+type outcome struct {
+	ok        bool
+	attempts  int64 // HTTP attempts made
+	shed      int64 // 503 responses (load shedding / draining)
+	serverErr int64 // other 5xx responses
+	clientErr int64 // 4xx responses (never retried)
+	transport int64 // connection-level failures
+	gaveUp    bool  // retries exhausted without a success
+	latency   time.Duration
+}
+
+// doShot issues one logical request, retrying shed/5xx/transport failures
+// per the policy. 4xx responses are the caller's fault and never retried.
+func doShot(client *http.Client, base string, s shot, p retryPolicy, rng *rand.Rand) outcome {
+	var out outcome
+	for attempt := 0; ; attempt++ {
+		out.attempts++
+		start := time.Now()
+		resp, err := client.Post(base+s.endpoint, "application/json", bytes.NewReader(s.body))
+		var retryAfter time.Duration
+		if err != nil {
+			out.transport++
+		} else {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				out.ok = true
+				out.latency = time.Since(start)
+				return out
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				out.shed++
+				if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v >= 0 {
+					retryAfter = time.Duration(v) * time.Second
+				}
+			case resp.StatusCode >= 500:
+				out.serverErr++
+			default:
+				out.clientErr++
+				return out
+			}
+		}
+		if attempt >= p.retries {
+			out.gaveUp = true
+			return out
+		}
+		p.sleep(p.delay(attempt, retryAfter, rng))
+	}
+}
+
+// totals aggregates outcomes across all workers of one run.
+type totals struct {
+	ok, attempts, retries      int64
+	shed, serverErr, clientErr int64
+	transport, gaveUp          int64
+	latencies                  []time.Duration
+}
+
+func (t *totals) add(o outcome, measure bool) {
+	if o.ok {
+		t.ok++
+		if measure {
+			t.latencies = append(t.latencies, o.latency)
+		}
+	}
+	t.attempts += o.attempts
+	t.retries += o.attempts - 1
+	t.shed += o.shed
+	t.serverErr += o.serverErr
+	t.clientErr += o.clientErr
+	t.transport += o.transport
+	if o.gaveUp {
+		t.gaveUp++
+	}
+}
+
+func (t *totals) merge(w totals) {
+	t.ok += w.ok
+	t.attempts += w.attempts
+	t.retries += w.retries
+	t.shed += w.shed
+	t.serverErr += w.serverErr
+	t.clientErr += w.clientErr
+	t.transport += w.transport
+	t.gaveUp += w.gaveUp
+	t.latencies = append(t.latencies, w.latencies...)
+}
+
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
@@ -95,6 +216,9 @@ func main() {
 	dur := flag.Duration("d", 10*time.Second, "measurement duration")
 	warmup := flag.Duration("warmup", 1*time.Second, "cache warm-up duration (not measured)")
 	spread := flag.Int("spread", 4, "distinct advise scenarios per machine×collective")
+	retries := flag.Int("retries", 3, "retry attempts per request for 5xx/transport failures")
+	backoff := flag.Duration("backoff", 10*time.Millisecond, "base retry backoff (doubles per attempt, with jitter)")
+	maxBackoff := flag.Duration("maxbackoff", 1*time.Second, "retry backoff cap")
 	flag.Parse()
 
 	shots := workload(*spread)
@@ -103,14 +227,13 @@ func main() {
 		MaxIdleConnsPerHost: *conc * 2,
 	}
 	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	policy := retryPolicy{retries: *retries, backoff: *backoff, maxBackoff: *maxBackoff, sleep: time.Sleep}
 
-	run := func(d time.Duration, measure bool) (int64, int64, []time.Duration) {
+	run := func(d time.Duration, measure bool) totals {
 		var (
-			wg        sync.WaitGroup
-			mu        sync.Mutex
-			total     int64
-			errs      int64
-			latencies []time.Duration
+			wg  sync.WaitGroup
+			mu  sync.Mutex
+			all totals
 		)
 		deadline := time.Now().Add(d)
 		for w := 0; w < *conc; w++ {
@@ -118,60 +241,47 @@ func main() {
 			go func(seed int64) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed))
-				var mine []time.Duration
-				var n, bad int64
+				var mine totals
 				for time.Now().Before(deadline) {
 					s := shots[rng.Intn(len(shots))]
-					start := time.Now()
-					resp, err := client.Post(*url+s.endpoint, "application/json", bytes.NewReader(s.body))
-					elapsed := time.Since(start)
-					if err != nil {
-						bad++
-						continue
-					}
-					_, _ = io.Copy(io.Discard, resp.Body)
-					_ = resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
-						bad++
-						continue
-					}
-					n++
-					if measure {
-						mine = append(mine, elapsed)
-					}
+					mine.add(doShot(client, *url, s, policy, rng), measure)
 				}
 				mu.Lock()
-				total += n
-				errs += bad
-				latencies = append(latencies, mine...)
+				all.merge(mine)
 				mu.Unlock()
 			}(int64(w) + 1)
 		}
 		wg.Wait()
-		return total, errs, latencies
+		return all
 	}
 
 	if *warmup > 0 {
-		if _, errs, _ := run(*warmup, false); errs > 0 {
-			fmt.Fprintf(os.Stderr, "mrload: %d errors during warm-up — is mrserved running at %s?\n", errs, *url)
+		wt := run(*warmup, false)
+		if wt.ok == 0 {
+			fmt.Fprintf(os.Stderr, "mrload: no request succeeded during warm-up — is mrserved running at %s?\n", *url)
 			os.Exit(1)
 		}
 	}
-	total, errs, latencies := run(*dur, true)
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	t := run(*dur, true)
+	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
 
 	elapsed := dur.Seconds()
-	fmt.Printf("mrload: %d requests in %s with %d workers over %d request shapes\n",
-		total, *dur, *conc, len(shots))
-	fmt.Printf("  throughput  %10.0f req/s\n", float64(total)/elapsed)
-	fmt.Printf("  errors      %10d\n", errs)
-	if len(latencies) > 0 {
-		fmt.Printf("  latency p50 %10s\n", percentile(latencies, 0.50))
-		fmt.Printf("  latency p90 %10s\n", percentile(latencies, 0.90))
-		fmt.Printf("  latency p99 %10s\n", percentile(latencies, 0.99))
-		fmt.Printf("  latency max %10s\n", latencies[len(latencies)-1])
+	fmt.Printf("mrload: %d ok of %d attempts in %s with %d workers over %d request shapes\n",
+		t.ok, t.attempts, *dur, *conc, len(shots))
+	fmt.Printf("  goodput     %10.0f req/s (successful requests only)\n", float64(t.ok)/elapsed)
+	fmt.Printf("  retries     %10d\n", t.retries)
+	fmt.Printf("  shed 503    %10d\n", t.shed)
+	fmt.Printf("  other 5xx   %10d\n", t.serverErr)
+	fmt.Printf("  4xx         %10d\n", t.clientErr)
+	fmt.Printf("  transport   %10d\n", t.transport)
+	fmt.Printf("  gave up     %10d\n", t.gaveUp)
+	if len(t.latencies) > 0 {
+		fmt.Printf("  latency p50 %10s\n", percentile(t.latencies, 0.50))
+		fmt.Printf("  latency p90 %10s\n", percentile(t.latencies, 0.90))
+		fmt.Printf("  latency p99 %10s\n", percentile(t.latencies, 0.99))
+		fmt.Printf("  latency max %10s\n", t.latencies[len(t.latencies)-1])
 	}
-	if errs > 0 {
+	if t.ok == 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testPolicy(retries int) retryPolicy {
+	return retryPolicy{
+		retries:    retries,
+		backoff:    time.Millisecond,
+		maxBackoff: 8 * time.Millisecond,
+		sleep:      func(time.Duration) {},
+	}
+}
+
+func TestBackoffDelayCappedAndJittered(t *testing.T) {
+	p := retryPolicy{retries: 5, backoff: 10 * time.Millisecond, maxBackoff: 80 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 10; attempt++ {
+		base := p.backoff << uint(attempt)
+		if base > p.maxBackoff || base <= 0 {
+			base = p.maxBackoff
+		}
+		for i := 0; i < 100; i++ {
+			d := p.delay(attempt, 0, rng)
+			if d < base/2 || d > base {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, base/2, base)
+			}
+		}
+	}
+	// Retry-After dominates a shorter computed backoff.
+	if d := p.delay(0, time.Second, rng); d != time.Second {
+		t.Fatalf("Retry-After not honoured: %v", d)
+	}
+}
+
+func TestDoShotRetriesShedThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":{}}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(3), rand.New(rand.NewSource(1)))
+	if !out.ok || out.gaveUp {
+		t.Fatalf("outcome not ok: %+v", out)
+	}
+	if out.attempts != 3 || out.shed != 2 {
+		t.Fatalf("attempts %d shed %d, want 3 and 2", out.attempts, out.shed)
+	}
+	if out.serverErr != 0 || out.transport != 0 || out.clientErr != 0 {
+		t.Fatalf("misclassified: %+v", out)
+	}
+}
+
+func TestDoShotClassifiesOther5xxSeparately(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)))
+	if out.ok || !out.gaveUp {
+		t.Fatalf("500s must exhaust retries: %+v", out)
+	}
+	if out.attempts != 3 || out.serverErr != 3 || out.shed != 0 {
+		t.Fatalf("attempts %d serverErr %d shed %d, want 3/3/0", out.attempts, out.serverErr, out.shed)
+	}
+}
+
+func TestDoShotDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(5), rand.New(rand.NewSource(1)))
+	if out.ok || out.gaveUp {
+		t.Fatalf("4xx is a terminal client error: %+v", out)
+	}
+	if calls.Load() != 1 || out.attempts != 1 || out.clientErr != 1 {
+		t.Fatalf("4xx was retried: calls %d, %+v", calls.Load(), out)
+	}
+}
+
+func TestDoShotClassifiesTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing is listening: every attempt is a transport error
+
+	out := doShot(&http.Client{Timeout: time.Second}, ts.URL, shot{endpoint: "/v1/map"},
+		testPolicy(2), rand.New(rand.NewSource(1)))
+	if out.ok || !out.gaveUp {
+		t.Fatalf("dead server must exhaust retries: %+v", out)
+	}
+	if out.transport != 3 || out.serverErr != 0 || out.shed != 0 {
+		t.Fatalf("misclassified transport failure: %+v", out)
+	}
+}
+
+func TestTotalsSeparateRetriesFromGoodput(t *testing.T) {
+	var tt totals
+	tt.add(outcome{ok: true, attempts: 3, shed: 2, latency: time.Millisecond}, true)
+	tt.add(outcome{attempts: 2, transport: 2, gaveUp: true}, true)
+	if tt.ok != 1 || tt.attempts != 5 || tt.retries != 3 {
+		t.Fatalf("totals wrong: %+v", tt)
+	}
+	if tt.shed != 2 || tt.transport != 2 || tt.gaveUp != 1 {
+		t.Fatalf("classification wrong: %+v", tt)
+	}
+	if len(tt.latencies) != 1 {
+		t.Fatalf("latency recorded for failed request: %+v", tt)
+	}
+}

@@ -1,14 +1,20 @@
 // Command mrserved runs the mapping-advisory daemon: the internal/mapd
 // service behind a plain net/http server with production hygiene —
-// request body limits, per-evaluation timeouts, connection read/write
-// deadlines, and graceful shutdown on SIGINT/SIGTERM.
+// request body limits, per-evaluation timeouts, overload shedding, a
+// circuit breaker around the advisor search, connection read/write
+// deadlines, and graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	mrserved -addr 127.0.0.1:8077 -cache 4096 -timeout 10s
 //
 // Endpoints: POST /v1/map, /v1/advise, /v1/select, /v1/metrics/order;
-// GET /metrics (Prometheus), /healthz.
+// GET /metrics (Prometheus), /healthz (healthy | degraded | draining).
+//
+// On SIGTERM the daemon first flips /healthz to draining (503) and
+// refuses new API requests, holds the listener open for the announce
+// window so load balancers observe the state change, then closes the
+// listener and waits up to the drain budget for in-flight requests.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,55 +33,96 @@ import (
 	"repro/internal/mapd"
 )
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
-	cache := flag.Int("cache", 4096, "result-cache capacity in entries (negative disables)")
-	shards := flag.Int("shards", 16, "result-cache shard count")
-	workers := flag.Int("workers", 0, "advisor worker-pool size per evaluation (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 10*time.Second, "per-evaluation budget")
-	maxBody := flag.Int64("max-body", 1<<20, "maximum request body in bytes")
-	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
-	flag.Parse()
+type options struct {
+	addr        string
+	cache       int
+	shards      int
+	workers     int
+	timeout     time.Duration
+	maxBody     int64
+	maxInflight int
+	announce    time.Duration
+	drain       time.Duration
+}
 
+func buildServers(o options) (*mapd.Server, *http.Server) {
 	srv := mapd.New(mapd.Config{
-		CacheEntries:  *cache,
-		CacheShards:   *shards,
-		AdviseWorkers: *workers,
-		MaxBody:       *maxBody,
-		Timeout:       *timeout,
+		CacheEntries:  o.cache,
+		CacheShards:   o.shards,
+		AdviseWorkers: o.workers,
+		MaxBody:       o.maxBody,
+		Timeout:       o.timeout,
+		MaxInflight:   o.maxInflight,
 	})
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      *timeout + 5*time.Second,
+		WriteTimeout:      o.timeout + 5*time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	return srv, httpSrv
+}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-
+// serve listens on o.addr and blocks until ctx is cancelled (drain
+// gracefully, return nil) or the listener fails. When ready is non-nil it
+// receives the bound address once the listener is up.
+func serve(ctx context.Context, srv *mapd.Server, httpSrv *http.Server, o options, ready chan<- string) error {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("mrserved: listening on http://%s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 	errc := make(chan error, 1)
-	go func() {
-		log.Printf("mrserved: listening on http://%s", *addr)
-		errc <- httpSrv.ListenAndServe()
-	}()
-
+	go func() { errc <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "mrserved:", err)
-			os.Exit(1)
+			return err
 		}
+		return nil
 	case <-ctx.Done():
-		log.Printf("mrserved: signal received, draining for up to %s", *drain)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("mrserved: forced shutdown: %v", err)
-			_ = httpSrv.Close()
-		}
-		log.Printf("mrserved: bye")
+		return drainAndShutdown(srv, httpSrv, o.announce, o.drain)
+	}
+}
+
+// drainAndShutdown performs the graceful exit: announce the draining state
+// first, then stop accepting and wait for in-flight work.
+func drainAndShutdown(srv *mapd.Server, httpSrv *http.Server, announce, drain time.Duration) error {
+	log.Printf("mrserved: draining (announce %s, budget %s)", announce, drain)
+	srv.StartDraining()
+	time.Sleep(announce)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("mrserved: forced shutdown: %v", err)
+		return httpSrv.Close()
+	}
+	log.Printf("mrserved: bye")
+	return nil
+}
+
+func main() {
+	o := options{}
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8077", "listen address")
+	flag.IntVar(&o.cache, "cache", 4096, "result-cache capacity in entries (negative disables)")
+	flag.IntVar(&o.shards, "shards", 16, "result-cache shard count")
+	flag.IntVar(&o.workers, "workers", 0, "advisor worker-pool size per evaluation (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-evaluation budget")
+	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "maximum request body in bytes")
+	flag.IntVar(&o.maxInflight, "max-inflight", 512, "in-flight request cap before shedding (negative disables)")
+	flag.DurationVar(&o.announce, "announce", 500*time.Millisecond, "drain announcement window before the listener closes")
+	flag.DurationVar(&o.drain, "drain", 5*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	srv, httpSrv := buildServers(o)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, srv, httpSrv, o, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "mrserved:", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,62 @@
+// Recovery advice for degraded hierarchies: after cores fail, the
+// surviving cores no longer fill the mixed-radix space, but each order σ
+// still induces an enumeration of them (the σ-order with holes skipped).
+// RecommendRecovery ranks candidate orders by the ring cost of the
+// survivor enumeration — the sum of hierarchy crossing costs between
+// consecutive survivors (§3.3) — which is the same locality objective the
+// healthy-machine advisor optimises, evaluated on the degraded machine.
+
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perm"
+	"repro/internal/reorder"
+	"repro/internal/topology"
+)
+
+// RecoveryOption is one candidate recovery enumeration.
+type RecoveryOption struct {
+	Order     []int // σ
+	Survivors []int // recovery rank -> core, holes skipped
+	RingCost  int   // Σ CrossCost over consecutive survivors
+}
+
+// RecommendRecovery ranks the given orders for re-enumerating the
+// survivors of a degraded hierarchy, best (lowest ring cost) first. Ties
+// break lexicographically on σ so the recommendation is deterministic.
+// With a nil or empty orders slice, all k! orders are considered.
+func RecommendRecovery(d topology.Degraded, orders [][]int) ([]RecoveryOption, error) {
+	if d.NumAlive() == 0 {
+		return nil, fmt.Errorf("advisor: no surviving cores to enumerate")
+	}
+	if len(orders) == 0 {
+		orders = perm.All(d.Base().Depth())
+	}
+	h := d.Base()
+	opts := make([]RecoveryOption, 0, len(orders))
+	for _, sigma := range orders {
+		surv, err := reorder.SurvivorOrder(d, sigma)
+		if err != nil {
+			return nil, err
+		}
+		cost := 0
+		for i := 0; i+1 < len(surv); i++ {
+			cost += h.CrossCost(surv[i], surv[i+1])
+		}
+		opts = append(opts, RecoveryOption{
+			Order:     append([]int(nil), sigma...),
+			Survivors: surv,
+			RingCost:  cost,
+		})
+	}
+	sort.Slice(opts, func(i, j int) bool {
+		if opts[i].RingCost != opts[j].RingCost {
+			return opts[i].RingCost < opts[j].RingCost
+		}
+		return perm.Less(opts[i].Order, opts[j].Order)
+	})
+	return opts, nil
+}

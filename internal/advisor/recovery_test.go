@@ -1,0 +1,105 @@
+package advisor
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+func TestRecommendRecoveryPrefersLocality(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	d, err := h.Degrade(3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := RecommendRecovery(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 6 { // 3! candidate orders
+		t.Fatalf("%d options, want 6", len(opts))
+	}
+	// The natural enumeration [2 1 0] keeps neighbours on the same socket
+	// and must beat the node-round-robin [0 1 2].
+	best := opts[0]
+	if !reflect.DeepEqual(best.Order, []int{2, 1, 0}) {
+		t.Fatalf("best order = %v (cost %d), want [2 1 0]", best.Order, best.RingCost)
+	}
+	if len(best.Survivors) != 14 {
+		t.Fatalf("best option has %d survivors, want 14", len(best.Survivors))
+	}
+	worst := opts[len(opts)-1]
+	if worst.RingCost <= best.RingCost {
+		t.Fatalf("cost ordering broken: best %d, worst %d", best.RingCost, worst.RingCost)
+	}
+	for i := 1; i < len(opts); i++ {
+		if opts[i].RingCost < opts[i-1].RingCost {
+			t.Fatalf("options not sorted: %v", opts)
+		}
+	}
+}
+
+func TestRecommendRecoveryRingCost(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	d, err := h.Degrade() // undamaged: costs are the healthy ring costs
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := RecommendRecovery(d, [][]int{{2, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Natural order on 2x2x4: within a socket cost 1 (x3 per socket),
+	// socket hop cost 2, node hop cost 3: 4 sockets x 3 + 2 x 2 + 1 x 3 = 19.
+	if opts[0].RingCost != 19 {
+		t.Fatalf("healthy natural ring cost = %d, want 19", opts[0].RingCost)
+	}
+
+	// Knock out socket 0 entirely. Survivors 4..15 in natural order:
+	// 4-5-6-7 (3x1), 7->8 node hop (3), 8..11 (3x1), 11->12 socket hop (2),
+	// 12..15 (3x1) = 14.
+	d2, err := h.Degrade(0, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2, err := RecommendRecovery(d2, [][]int{{2, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts2[0].RingCost != 14 {
+		t.Fatalf("degraded natural ring cost = %d, want 14", opts2[0].RingCost)
+	}
+}
+
+func TestRecommendRecoveryTieBreakAndErrors(t *testing.T) {
+	h := topology.MustNew(2, 2)
+	d, err := h.Degrade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := RecommendRecovery(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify deterministic ordering: equal costs fall back to perm.Less.
+	for i := 1; i < len(opts); i++ {
+		if opts[i].RingCost == opts[i-1].RingCost && !perm.Less(opts[i-1].Order, opts[i].Order) {
+			t.Fatalf("tie not broken lexicographically: %v before %v", opts[i-1].Order, opts[i].Order)
+		}
+	}
+
+	all := []int{0, 1, 2, 3}
+	dDead, err := h.Degrade(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecommendRecovery(dDead, nil); err == nil {
+		t.Fatal("fully failed machine accepted")
+	}
+
+	if _, err := RecommendRecovery(d, [][]int{{0}}); err == nil {
+		t.Fatal("bad order accepted")
+	}
+}

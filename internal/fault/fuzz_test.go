@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParsePlan drives the fault-plan parser with arbitrary inputs in both
+// the DSL and JSON forms. The parser must never panic, every error must
+// wrap ErrBadPlan, and anything it accepts must survive the canonical
+// round trip (Parse → String → Parse → same canonical form) and
+// materialize deterministically within the documented limits.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed=7;node:3@t=50ms")
+	f.Add("straggle:rank=17,factor=4,level=2")
+	f.Add("link:level=2,degrade=0.5@t=1ms")
+	f.Add("chaos:ranks=2,by=100ms")
+	f.Add("rank:0;rank:1;rank:2")
+	f.Add("node:3@t=-1")            // negative time
+	f.Add("link:level=1,degrade=2") // degrade > 1
+	f.Add("seed=9223372036854775807")
+	f.Add(`{"seed": 1, "events": [{"kind": "rank", "target": 2}]}`)
+	f.Add(`{"events": [{"kind": "chaos", "target": 100000}]}`)
+	f.Add("{")
+	f.Add(";;;")
+	f.Add("node:1@t=1e308s")
+	f.Add("straggle:rank=1,factor=nan")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadPlan) {
+				t.Fatalf("Parse(%q): error %v does not wrap ErrBadPlan", s, err)
+			}
+			return
+		}
+		if len(p.Events) > MaxEvents {
+			t.Fatalf("accepted %d events (limit %d)", len(p.Events), MaxEvents)
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if p2.String() != canon {
+			t.Fatalf("canonical form unstable: %q → %q", canon, p2.String())
+		}
+		if p.Hash() != p2.Hash() {
+			t.Fatalf("hash differs across round trip for %q", s)
+		}
+		a := p.Materialize(32, 4)
+		b := p.Materialize(32, 4)
+		if len(a) != len(b) {
+			t.Fatalf("Materialize not deterministic for %q", s)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Materialize not deterministic for %q at %d", s, i)
+			}
+			if a[i].Kind == KindChaos {
+				t.Fatalf("chaos event survived materialization: %+v", a[i])
+			}
+		}
+	})
+}

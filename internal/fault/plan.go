@@ -1,0 +1,490 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadPlan is wrapped by every parse/validation error so callers can
+// distinguish malformed plans from runtime failures with errors.Is.
+var ErrBadPlan = errors.New("fault: bad plan")
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadPlan, fmt.Sprintf(format, args...))
+}
+
+// Kind classifies a fault event.
+type Kind string
+
+const (
+	// KindNode crashes every rank on one node at time At.
+	KindNode Kind = "node"
+	// KindRank crashes a single world rank at time At.
+	KindRank Kind = "rank"
+	// KindStraggle slows one rank down by Factor from time At on: its
+	// compute and communication take Factor times longer.
+	KindStraggle Kind = "straggle"
+	// KindLink multiplies the capacity of every link at hierarchy level
+	// Level by Factor (0 < Factor <= 1) at time At.
+	KindLink Kind = "link"
+	// KindChaos expands (via Materialize) into Target rank crashes at
+	// seed-deterministic times drawn uniformly from [0, By].
+	KindChaos Kind = "chaos"
+)
+
+// Plan limits; plans are tiny configuration, not bulk data.
+const (
+	MaxEvents       = 256
+	MaxChaosKills   = 4096
+	MaxStraggleFact = 1e6
+	MaxTime         = 1e9 // seconds of virtual time
+)
+
+// Event is one fault in a plan. Which fields are meaningful depends on
+// Kind; see the Kind constants.
+type Event struct {
+	Kind   Kind    `json:"kind"`
+	Target int     `json:"target,omitempty"` // node, rank, or chaos kill count
+	Level  int     `json:"level,omitempty"`  // link: hierarchy level
+	Factor float64 `json:"factor,omitempty"` // straggle slowdown or link capacity multiplier
+	At     float64 `json:"at,omitempty"`     // virtual time, seconds
+	By     float64 `json:"by,omitempty"`     // chaos: upper bound for kill times
+}
+
+// Plan is a deterministic fault schedule. The zero Plan injects nothing.
+type Plan struct {
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the plan injects no faults.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Parse reads a fault plan from either the compact DSL or (when the input
+// starts with '{') the JSON form. The DSL is semicolon-separated clauses:
+//
+//	seed=7
+//	node:3@t=50ms
+//	rank:17@t=50ms
+//	straggle:rank=17,factor=4@t=2ms
+//	link:level=2,degrade=0.5@t=1ms
+//	chaos:ranks=2,by=100ms
+//
+// Times accept time.ParseDuration syntax ("50ms", "1.5s") or a bare number
+// of seconds. "@t=..." is optional and defaults to t=0. All errors wrap
+// ErrBadPlan.
+func Parse(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, badf("empty plan")
+	}
+	if strings.HasPrefix(s, "{") {
+		return parseJSON(s)
+	}
+	p := &Plan{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := p.parseClause(clause); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseJSON(s string) (*Plan, error) {
+	dec := json.NewDecoder(strings.NewReader(s))
+	dec.DisallowUnknownFields()
+	p := &Plan{}
+	if err := dec.Decode(p); err != nil {
+		return nil, badf("json: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Plan) parseClause(clause string) error {
+	head, rest, hasBody := strings.Cut(clause, ":")
+	head = strings.TrimSpace(head)
+	if !hasBody {
+		// bare key=value clause: only "seed=N"
+		key, val, ok := strings.Cut(head, "=")
+		if !ok || strings.TrimSpace(key) != "seed" {
+			return badf("clause %q: expected kind:args or seed=N", clause)
+		}
+		seed, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return badf("seed %q: %v", val, err)
+		}
+		p.Seed = seed
+		return nil
+	}
+
+	// Split off the optional "@t=<dur>" suffix.
+	body, at := rest, 0.0
+	if i := strings.LastIndex(rest, "@"); i >= 0 {
+		body = rest[:i]
+		suffix := strings.TrimSpace(rest[i+1:])
+		tv, ok := strings.CutPrefix(suffix, "t=")
+		if !ok {
+			return badf("clause %q: expected @t=<duration>", clause)
+		}
+		d, err := parseSeconds(tv)
+		if err != nil {
+			return badf("clause %q: %v", clause, err)
+		}
+		at = d
+	}
+	body = strings.TrimSpace(body)
+
+	ev := Event{At: at}
+	kv := map[string]string{}
+	for _, f := range strings.Split(body, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if k, v, ok := strings.Cut(f, "="); ok {
+			k = strings.TrimSpace(k)
+			if _, dup := kv[k]; dup {
+				return badf("clause %q: duplicate key %q", clause, k)
+			}
+			kv[k] = strings.TrimSpace(v)
+		} else if _, bare := kv[""]; !bare {
+			kv[""] = f // positional value, e.g. node:3
+		} else {
+			return badf("clause %q: more than one positional value", clause)
+		}
+	}
+
+	intKey := func(key string) (int, bool, error) {
+		v, ok := kv[key]
+		if !ok {
+			return 0, false, nil
+		}
+		delete(kv, key)
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, false, badf("clause %q: %s=%q: %v", clause, key, v, err)
+		}
+		return n, true, nil
+	}
+	floatKey := func(key string) (float64, bool, error) {
+		v, ok := kv[key]
+		if !ok {
+			return 0, false, nil
+		}
+		delete(kv, key)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, false, badf("clause %q: %s=%q: %v", clause, key, v, err)
+		}
+		return f, true, nil
+	}
+
+	switch Kind(head) {
+	case KindNode, KindRank:
+		ev.Kind = Kind(head)
+		n, ok, err := intKey("")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			key := "node"
+			if ev.Kind == KindRank {
+				key = "rank"
+			}
+			if n, ok, err = intKey(key); err != nil {
+				return err
+			}
+		}
+		if !ok {
+			return badf("clause %q: missing %s index", clause, head)
+		}
+		ev.Target = n
+	case KindStraggle:
+		ev.Kind = KindStraggle
+		n, ok, err := intKey("rank")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if n, ok, err = intKey(""); err != nil {
+				return err
+			}
+		}
+		if !ok {
+			return badf("clause %q: missing rank=", clause)
+		}
+		ev.Target = n
+		f, ok, err := floatKey("factor")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return badf("clause %q: missing factor=", clause)
+		}
+		ev.Factor = f
+		// level= is accepted (scope hint in the issue's example) but the
+		// runtime straggles the whole rank; keep it for round-tripping.
+		if lvl, ok, err := intKey("level"); err != nil {
+			return err
+		} else if ok {
+			ev.Level = lvl
+		}
+	case KindLink:
+		ev.Kind = KindLink
+		lvl, ok, err := intKey("level")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if lvl, ok, err = intKey(""); err != nil {
+				return err
+			}
+		}
+		if !ok {
+			return badf("clause %q: missing level=", clause)
+		}
+		ev.Level = lvl
+		f, ok, err := floatKey("degrade")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return badf("clause %q: missing degrade=", clause)
+		}
+		ev.Factor = f
+	case KindChaos:
+		ev.Kind = KindChaos
+		n, ok, err := intKey("ranks")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if n, ok, err = intKey(""); err != nil {
+				return err
+			}
+		}
+		if !ok {
+			return badf("clause %q: missing ranks=", clause)
+		}
+		ev.Target = n
+		if v, ok := kv["by"]; ok {
+			delete(kv, "by")
+			d, err := parseSeconds(v)
+			if err != nil {
+				return badf("clause %q: by=%q: %v", clause, v, err)
+			}
+			ev.By = d
+		}
+	default:
+		return badf("clause %q: unknown fault kind %q", clause, head)
+	}
+
+	for k := range kv {
+		if k == "" {
+			return badf("clause %q: unexpected positional value", clause)
+		}
+		return badf("clause %q: unknown key %q", clause, k)
+	}
+	p.Events = append(p.Events, ev)
+	return nil
+}
+
+// parseSeconds accepts time.ParseDuration syntax or a bare float of
+// seconds.
+func parseSeconds(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty duration")
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return d.Seconds(), nil
+}
+
+// Validate checks every event for in-range fields. All errors wrap
+// ErrBadPlan.
+func (p *Plan) Validate() error {
+	if len(p.Events) > MaxEvents {
+		return badf("%d events (limit %d)", len(p.Events), MaxEvents)
+	}
+	for i, ev := range p.Events {
+		if err := ev.validate(); err != nil {
+			return fmt.Errorf("%w (event %d)", err, i)
+		}
+	}
+	return nil
+}
+
+func (ev Event) validate() error {
+	bad := func(format string, args ...any) error {
+		return badf("%s: %s", ev.Kind, fmt.Sprintf(format, args...))
+	}
+	if !(ev.At >= 0 && ev.At <= MaxTime) {
+		return bad("time %v out of range", ev.At)
+	}
+	switch ev.Kind {
+	case KindNode, KindRank:
+		if ev.Target < 0 {
+			return bad("negative index %d", ev.Target)
+		}
+	case KindStraggle:
+		if ev.Target < 0 {
+			return bad("negative rank %d", ev.Target)
+		}
+		if !(ev.Factor >= 1 && ev.Factor <= MaxStraggleFact) {
+			return bad("factor %v outside [1, %v]", ev.Factor, float64(MaxStraggleFact))
+		}
+		if ev.Level < 0 {
+			return bad("negative level %d", ev.Level)
+		}
+	case KindLink:
+		if ev.Level < 0 {
+			return bad("negative level %d", ev.Level)
+		}
+		if !(ev.Factor > 0 && ev.Factor <= 1) {
+			return bad("degrade %v outside (0, 1]", ev.Factor)
+		}
+	case KindChaos:
+		if ev.Target < 1 || ev.Target > MaxChaosKills {
+			return bad("ranks %d outside [1, %d]", ev.Target, MaxChaosKills)
+		}
+		if !(ev.By >= 0 && ev.By <= MaxTime) {
+			return bad("by %v out of range", ev.By)
+		}
+	default:
+		return badf("unknown kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// String renders the plan in canonical DSL form: seed first, then events
+// in their stored order. Parse(p.String()) reproduces the plan, and Hash
+// is computed over this form.
+func (p *Plan) String() string {
+	var parts []string
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, ev := range p.Events {
+		parts = append(parts, ev.String())
+	}
+	if len(parts) == 0 {
+		return "seed=0"
+	}
+	return strings.Join(parts, ";")
+}
+
+func (ev Event) String() string {
+	at := ""
+	if ev.At != 0 {
+		at = fmt.Sprintf("@t=%s", formatSeconds(ev.At))
+	}
+	switch ev.Kind {
+	case KindNode, KindRank:
+		return fmt.Sprintf("%s:%d%s", ev.Kind, ev.Target, at)
+	case KindStraggle:
+		lvl := ""
+		if ev.Level != 0 {
+			lvl = fmt.Sprintf(",level=%d", ev.Level)
+		}
+		return fmt.Sprintf("straggle:rank=%d,factor=%s%s%s", ev.Target, formatFloat(ev.Factor), lvl, at)
+	case KindLink:
+		return fmt.Sprintf("link:level=%d,degrade=%s%s", ev.Level, formatFloat(ev.Factor), at)
+	case KindChaos:
+		by := ""
+		if ev.By != 0 {
+			by = fmt.Sprintf(",by=%s", formatSeconds(ev.By))
+		}
+		return fmt.Sprintf("chaos:ranks=%d%s%s", ev.Target, by, at)
+	}
+	return fmt.Sprintf("?%s", ev.Kind)
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func formatSeconds(sec float64) string { return formatFloat(sec) + "s" }
+
+// Hash returns the FNV-1a 64-bit hash of the canonical plan string as hex.
+// Two plans with the same hash inject identical faults, so recording the
+// hash in run metadata makes degraded traces attributable and comparable.
+func (p *Plan) Hash() string {
+	h := fnv.New64a()
+	h.Write([]byte(p.String()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Materialize expands the plan against a concrete world of nranks ranks:
+// chaos events become seed-deterministic rank crashes, and events whose
+// targets fall outside the world are dropped. The result is sorted by
+// (time, kind, target) so injection order — and therefore the simulated
+// outcome — is a pure function of (plan, world shape).
+func (p *Plan) Materialize(nranks, coresPerNode int) []Event {
+	if p.Empty() || nranks <= 0 {
+		return nil
+	}
+	if coresPerNode <= 0 {
+		coresPerNode = 1
+	}
+	nnodes := (nranks + coresPerNode - 1) / coresPerNode
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []Event
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case KindChaos:
+			n := ev.Target
+			if n > nranks {
+				n = nranks
+			}
+			for _, r := range rng.Perm(nranks)[:n] {
+				at := ev.At
+				if ev.By > at {
+					at += rng.Float64() * (ev.By - at)
+				}
+				out = append(out, Event{Kind: KindRank, Target: r, At: at})
+			}
+		case KindNode:
+			if ev.Target < nnodes {
+				out = append(out, ev)
+			}
+		case KindRank, KindStraggle:
+			if ev.Target < nranks {
+				out = append(out, ev)
+			}
+		default:
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Target < b.Target
+	})
+	return out
+}

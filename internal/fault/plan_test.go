@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mustParse(t *testing.T, s string) *Plan {
+	t.Helper()
+	p, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestParseDSL(t *testing.T) {
+	p := mustParse(t, "seed=7; node:3@t=50ms; straggle:rank=17,factor=4,level=2; link:level=2,degrade=0.5@t=1ms; chaos:ranks=2,by=100ms")
+	if p.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", p.Seed)
+	}
+	want := []Event{
+		{Kind: KindNode, Target: 3, At: 0.05},
+		{Kind: KindStraggle, Target: 17, Factor: 4, Level: 2},
+		{Kind: KindLink, Level: 2, Factor: 0.5, At: 0.001},
+		{Kind: KindChaos, Target: 2, By: 0.1},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("events = %+v, want %+v", p.Events, want)
+	}
+}
+
+func TestParseBareSecondsAndPositional(t *testing.T) {
+	p := mustParse(t, "rank:5@t=0.25;link:2,degrade=1")
+	if p.Events[0].At != 0.25 || p.Events[0].Target != 5 {
+		t.Fatalf("rank event = %+v", p.Events[0])
+	}
+	if p.Events[1].Level != 2 || p.Events[1].Factor != 1 {
+		t.Fatalf("link event = %+v", p.Events[1])
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	p := mustParse(t, `{"seed": 3, "events": [{"kind": "rank", "target": 1, "at": 0.5}]}`)
+	if p.Seed != 3 || len(p.Events) != 1 || p.Events[0] != (Event{Kind: KindRank, Target: 1, At: 0.5}) {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"bogus:1",
+		"node:x",
+		"node:-1",
+		"rank:1@t=",
+		"rank:1@x=5",
+		"straggle:rank=1",            // missing factor
+		"straggle:rank=1,factor=0.5", // factor < 1
+		"link:level=1,degrade=0",     // degrade out of (0,1]
+		"link:level=1,degrade=1.5",   // degrade out of (0,1]
+		"link:degrade=0.5",           // missing level
+		"chaos:ranks=0",              // out of range
+		"chaos:ranks=99999999",       // out of range
+		"node:1,extra=2",             // unknown key
+		"node:1,2",                   // double positional
+		"seed=abc",
+		"node:1@t=-5",
+		`{"seed": 1, "bogus": true}`, // unknown JSON field
+		`{"events": [{"kind": "nah"}]}`,
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		} else if !errors.Is(err, ErrBadPlan) {
+			t.Errorf("Parse(%q): error %v does not wrap ErrBadPlan", s, err)
+		}
+	}
+}
+
+func TestStringRoundTripAndHash(t *testing.T) {
+	src := "seed=7;node:3@t=0.05s;straggle:rank=17,factor=4,level=2;link:level=2,degrade=0.5@t=0.001s;chaos:ranks=2,by=0.1s"
+	p := mustParse(t, src)
+	if got := p.String(); got != src {
+		t.Fatalf("String() = %q, want %q", got, src)
+	}
+	p2 := mustParse(t, p.String())
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("round trip changed plan: %+v vs %+v", p, p2)
+	}
+	if p.Hash() != p2.Hash() {
+		t.Fatalf("hash not stable: %s vs %s", p.Hash(), p2.Hash())
+	}
+	if mustParse(t, "seed=8;node:3").Hash() == mustParse(t, "seed=7;node:3").Hash() {
+		t.Fatal("different seeds produced the same hash")
+	}
+}
+
+func TestMaterializeDeterministic(t *testing.T) {
+	p := mustParse(t, "seed=42;chaos:ranks=3,by=1s;link:level=1,degrade=0.5@t=0.2")
+	a := p.Materialize(16, 4)
+	b := p.Materialize(16, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Materialize not deterministic:\n%+v\n%+v", a, b)
+	}
+	kills := 0
+	seen := map[int]bool{}
+	for _, ev := range a {
+		if ev.Kind == KindRank {
+			kills++
+			if seen[ev.Target] {
+				t.Fatalf("rank %d killed twice", ev.Target)
+			}
+			seen[ev.Target] = true
+			if ev.Target < 0 || ev.Target >= 16 {
+				t.Fatalf("kill target %d outside world", ev.Target)
+			}
+			if ev.At < 0 || ev.At > 1 {
+				t.Fatalf("kill time %v outside [0, 1]", ev.At)
+			}
+		}
+	}
+	if kills != 3 {
+		t.Fatalf("materialized %d kills, want 3", kills)
+	}
+	// Different seed, different outcome (with overwhelming probability).
+	q := mustParse(t, "seed=43;chaos:ranks=3,by=1s;link:level=1,degrade=0.5@t=0.2")
+	if reflect.DeepEqual(a, q.Materialize(16, 4)) {
+		t.Fatal("different seeds materialized identically")
+	}
+	// Sorted by time.
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("events not time-sorted: %+v", a)
+		}
+	}
+}
+
+func TestMaterializeDropsOutOfRange(t *testing.T) {
+	p := mustParse(t, "node:99;rank:99;straggle:rank=99,factor=2;rank:1")
+	got := p.Materialize(4, 2)
+	if len(got) != 1 || got[0].Target != 1 {
+		t.Fatalf("Materialize = %+v, want just rank:1", got)
+	}
+}
+
+func TestRankLostError(t *testing.T) {
+	err := &RankLostError{Rank: 17, Node: 4, At: 0.05, Op: "Allreduce", Ranks: []int{3, 17}}
+	if !errors.Is(err, ErrRankLost) {
+		t.Fatal("RankLostError does not unwrap to ErrRankLost")
+	}
+	msg := err.Error()
+	for _, want := range []string{"rank 17", "node 4", "Allreduce"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestCatch(t *testing.T) {
+	lost := &RankLostError{Rank: 2, Node: -1, At: 1}
+	err := Catch(func() { panic(sim.Abort{Err: fmt.Errorf("op: %w", lost)}) })
+	if !errors.Is(err, ErrRankLost) {
+		t.Fatalf("Catch returned %v, want ErrRankLost", err)
+	}
+	var rle *RankLostError
+	if !errors.As(err, &rle) || rle.Rank != 2 {
+		t.Fatalf("Catch lost the RankLostError: %v", err)
+	}
+	if err := Catch(func() {}); err != nil {
+		t.Fatalf("Catch of clean body returned %v", err)
+	}
+	// Unrelated panics propagate.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Catch swallowed an unrelated panic")
+			}
+		}()
+		Catch(func() { panic("boom") })
+	}()
+}

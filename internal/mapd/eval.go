@@ -6,10 +6,13 @@ package mapd
 
 import (
 	"context"
+	"fmt"
+	"sort"
 
 	"repro/internal/advisor"
 	"repro/internal/metrics"
 	"repro/internal/mixedradix"
+	"repro/internal/perm"
 	"repro/internal/slurm"
 )
 
@@ -85,6 +88,63 @@ func evalAdvise(ctx context.Context, q *parsedAdvise, opts advisor.RankOptions) 
 	}
 	for i := 0; i < top; i++ {
 		resp.Best[i] = advisePrediction(sc, ranked[i])
+	}
+	return resp, nil
+}
+
+// evalAdviseFallback is the degraded-mode answer served while the advisor
+// circuit breaker is open: instead of the k! bottleneck-model search it
+// ranks all orders by the §3.3 ring cost of their enumeration — a pure
+// integer computation that cannot time out. The response is flagged
+// Degraded and never cached.
+func evalAdviseFallback(q *parsedAdvise) (*AdviseResponse, error) {
+	sc := q.scenario()
+	h := sc.Hierarchy
+	type cand struct {
+		sigma []int
+		cost  int
+	}
+	orders := perm.All(h.Depth())
+	cands := make([]cand, 0, len(orders))
+	for _, sigma := range orders {
+		ro, err := mixedradix.NewReorderer(h.Arities(), sigma)
+		if err != nil {
+			return nil, badf("%v", err)
+		}
+		inv := ro.InverseTable()
+		cost := 0
+		for i := 0; i+1 < len(inv); i++ {
+			cost += h.CrossCost(inv[i], inv[i+1])
+		}
+		cands = append(cands, cand{sigma: sigma, cost: cost})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return perm.Less(cands[i].sigma, cands[j].sigma)
+	})
+	pred := func(c cand) AdvisePrediction {
+		return AdvisePrediction{
+			Order:           c.sigma,
+			BottleneckLevel: -1,
+			Explain:         fmt.Sprintf("heuristic: ring cost %d (advisor breaker open)", c.cost),
+		}
+	}
+	top := q.top
+	if top > len(cands) {
+		top = len(cands)
+	}
+	resp := &AdviseResponse{
+		Machine:   q.machine,
+		Hierarchy: h.Arities(),
+		Evaluated: len(cands),
+		Degraded:  true,
+		Best:      make([]AdvisePrediction, top),
+		Worst:     pred(cands[len(cands)-1]),
+	}
+	for i := 0; i < top; i++ {
+		resp.Best[i] = pred(cands[i])
 	}
 	return resp, nil
 }

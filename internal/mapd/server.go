@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/advisor"
@@ -39,6 +40,17 @@ type Config struct {
 	// context detached from the client connection so a singleflight result
 	// survives its first requester hanging up.
 	Timeout time.Duration
+	// MaxInflight caps concurrently served requests; excess requests are
+	// shed with 503 + Retry-After instead of queueing without bound
+	// (default 512; negative disables shedding).
+	MaxInflight int
+	// BreakerThreshold opens the advisor circuit breaker after this many
+	// consecutive evaluation failures (default 5; negative disables the
+	// breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting a
+	// probe evaluation through (default 10 s).
+	BreakerCooldown time.Duration
 	// Registry receives the service metrics (default: a fresh registry).
 	Registry *obs.Registry
 }
@@ -56,6 +68,15 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = 10 * time.Second
 	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 512
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -64,34 +85,57 @@ func (c Config) withDefaults() Config {
 
 // Server is the mapping-advisory service.
 type Server struct {
-	cfg    Config
-	cache  *Cache
-	flight flightGroup
-	reg    *obs.Registry
+	cfg     Config
+	cache   *Cache
+	flight  flightGroup
+	reg     *obs.Registry
+	breaker *breaker // nil when disabled
 
-	inflight *obs.Gauge
-	shared   *obs.Counter
-	evals    *obs.Counter
+	inflightN atomic.Int64 // shedding decision
+	draining  atomic.Bool
 
-	// evalHook, when non-nil, runs inside each advise evaluation before the
-	// order search starts. Tests use it as a synchronization point.
-	evalHook func()
+	inflight  *obs.Gauge
+	shared    *obs.Counter
+	evals     *obs.Counter
+	shed      *obs.Counter
+	fallbacks *obs.Counter
+
+	// AdviseHook, when non-nil, runs inside each advise evaluation before
+	// the order search starts. Tests use it as a synchronization point and
+	// as a fault injector for the circuit breaker.
+	AdviseHook func()
 }
 
 // New returns a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheEntries, cfg.CacheShards),
-		reg:      cfg.Registry,
-		inflight: cfg.Registry.Gauge("mapd_inflight_requests"),
-		shared:   cfg.Registry.Counter("mapd_singleflight_shared_total"),
-		evals:    cfg.Registry.Counter("mapd_advise_evals_total"),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheEntries, cfg.CacheShards),
+		reg:       cfg.Registry,
+		inflight:  cfg.Registry.Gauge("mapd_inflight_requests"),
+		shared:    cfg.Registry.Counter("mapd_singleflight_shared_total"),
+		evals:     cfg.Registry.Counter("mapd_advise_evals_total"),
+		shed:      cfg.Registry.Counter("mapd_shed_total"),
+		fallbacks: cfg.Registry.Counter("mapd_advise_fallback_total"),
 	}
 	s.flight.onShared = func() { s.shared.Add(1) }
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
+		state := cfg.Registry.Gauge("mapd_breaker_state")
+		state.Set(float64(breakerClosed))
+		s.breaker.onState = func(st breakerState) { state.Set(float64(st)) }
+	}
 	return s
 }
+
+// StartDraining moves the server into the draining state: /healthz reports
+// draining with 503 so load balancers stop routing here, and new API
+// requests are refused while in-flight ones complete.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Registry returns the server's metric registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -117,22 +161,29 @@ func (s *Server) Handler() http.Handler {
 		}
 		return q.Key(), func(context.Context) (any, error) { return evalMap(q) }, nil
 	}))
-	mux.HandleFunc("/v1/advise", s.serve("advise", func(body []byte) (string, computeFunc, error) {
+	mux.HandleFunc("/v1/advise", s.serveGuarded("advise", func(body []byte) (string, computeFunc, computeFunc, error) {
 		var req AdviseRequest
 		if err := decodeStrict(body, &req); err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		q, err := req.parse()
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
-		return q.Key(), func(ctx context.Context) (any, error) {
-			if s.evalHook != nil {
-				s.evalHook()
+		compute := func(ctx context.Context) (any, error) {
+			if s.AdviseHook != nil {
+				s.AdviseHook()
 			}
 			s.evals.Add(1)
-			return evalAdvise(ctx, q, advisor.RankOptions{Workers: s.cfg.AdviseWorkers})
-		}, nil
+			resp, err := evalAdvise(ctx, q, advisor.RankOptions{Workers: s.cfg.AdviseWorkers})
+			if s.breaker != nil {
+				// Client errors say nothing about the service's health.
+				s.breaker.Record(err == nil || errors.Is(err, ErrBadRequest))
+			}
+			return resp, err
+		}
+		fallback := func(context.Context) (any, error) { return evalAdviseFallback(q) }
+		return q.Key(), compute, fallback, nil
 	}))
 	mux.HandleFunc("/v1/select", s.serve("select", func(body []byte) (string, computeFunc, error) {
 		var req SelectRequest
@@ -165,10 +216,29 @@ func (s *Server) Handler() http.Handler {
 		_ = obs.WritePrometheus(w, s.reg)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status, code := s.health()
 		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+		if code != http.StatusOK {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(code)
+		}
+		_, _ = w.Write([]byte(`{"status":"` + status + `"}` + "\n"))
 	})
 	return mux
+}
+
+// health resolves the tri-state /healthz answer: draining beats degraded
+// beats healthy. Degraded (advisor breaker not closed) still returns 200 —
+// the service answers, just from cache or heuristics.
+func (s *Server) health() (string, int) {
+	switch {
+	case s.draining.Load():
+		return "draining", http.StatusServiceUnavailable
+	case s.breaker != nil && s.breaker.State() != breakerClosed:
+		return "degraded", http.StatusOK
+	default:
+		return "healthy", http.StatusOK
+	}
 }
 
 // computeFunc evaluates one parsed request.
@@ -177,6 +247,10 @@ type computeFunc func(ctx context.Context) (any, error)
 // parseFunc turns a request body into a canonical cache key and a compute
 // closure. Returned errors are client errors.
 type parseFunc func(body []byte) (string, computeFunc, error)
+
+// guardedParseFunc additionally yields a cheap fallback evaluation served
+// (uncached) while the endpoint's circuit breaker is open.
+type guardedParseFunc func(body []byte) (string, computeFunc, computeFunc, error)
 
 // decodeStrict unmarshals JSON rejecting unknown fields and trailing data,
 // so typos fail loudly instead of silently evaluating defaults.
@@ -192,22 +266,44 @@ func decodeStrict(body []byte, v any) error {
 	return nil
 }
 
-// serve wraps an endpoint with the shared pipeline: method check, body
-// limit, parse, cache lookup, singleflight evaluation, metrics.
+// serve wraps an endpoint with the shared pipeline: overload shedding,
+// method check, body limit, parse, cache lookup, singleflight evaluation,
+// metrics.
 func (s *Server) serve(name string, parse parseFunc) http.HandlerFunc {
+	return s.serveGuarded(name, func(body []byte) (string, computeFunc, computeFunc, error) {
+		key, compute, err := parse(body)
+		return key, compute, nil, err
+	})
+}
+
+func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerFunc {
 	hits := s.reg.Counter("mapd_cache_hits_total", obs.L("endpoint", name))
 	misses := s.reg.Counter("mapd_cache_misses_total", obs.L("endpoint", name))
 	latency := s.reg.Histogram("mapd_request_seconds", obs.WallBuckets(), obs.L("endpoint", name))
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.inflight.Add(1)
+		n := s.inflightN.Add(1)
 		code := http.StatusOK
 		defer func() {
+			s.inflightN.Add(-1)
 			s.inflight.Add(-1)
 			latency.Observe(time.Since(start).Seconds())
 			s.reg.Counter("mapd_requests_total",
 				obs.L("endpoint", name), obs.L("code", strconv.Itoa(code))).Add(1)
 		}()
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			code = writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if s.cfg.MaxInflight > 0 && n > int64(s.cfg.MaxInflight) {
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			code = writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("over %d requests in flight, try again shortly", s.cfg.MaxInflight))
+			return
+		}
 		if r.Method != http.MethodPost {
 			code = writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
 			return
@@ -223,7 +319,7 @@ func (s *Server) serve(name string, parse parseFunc) http.HandlerFunc {
 			}
 			return
 		}
-		key, compute, err := parse(body)
+		key, compute, fallback, err := parse(body)
 		if err != nil {
 			code = writeError(w, http.StatusBadRequest, clientMessage(err))
 			return
@@ -234,6 +330,23 @@ func (s *Server) serve(name string, parse parseFunc) http.HandlerFunc {
 			return
 		}
 		misses.Add(1)
+		if fallback != nil && s.breaker != nil && !s.breaker.Allow() {
+			// Breaker open: answer from the cheap heuristic, uncached so a
+			// recovered breaker re-evaluates the real search.
+			s.fallbacks.Add(1)
+			resp, ferr := fallback(r.Context())
+			if ferr != nil {
+				code = writeError(w, http.StatusInternalServerError, ferr.Error())
+				return
+			}
+			b, ferr := json.Marshal(resp)
+			if ferr != nil {
+				code = writeError(w, http.StatusInternalServerError, ferr.Error())
+				return
+			}
+			writeJSON(w, append(b, '\n'))
+			return
+		}
 		val, err, _ := s.flight.Do(key, func() ([]byte, error) {
 			// Detached from the client connection: a singleflight result is
 			// shared, so it must not die with its first requester.
@@ -296,6 +409,8 @@ func statusSlug(code int) string {
 		return "body_too_large"
 	case http.StatusGatewayTimeout:
 		return "timeout"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
 	default:
 		return "internal"
 	}

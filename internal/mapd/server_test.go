@@ -255,7 +255,7 @@ func TestSingleflightCollapsesConcurrentAdvise(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	s.evalHook = func() {
+	s.AdviseHook = func() {
 		once.Do(func() { close(started) })
 		<-release
 	}
@@ -369,7 +369,7 @@ func TestMetricsAndHealthEndpoints(t *testing.T) {
 	}
 	defer hresp.Body.Close()
 	hb, _ := io.ReadAll(hresp.Body)
-	if hresp.StatusCode != http.StatusOK || !bytes.Contains(hb, []byte(`"ok"`)) {
+	if hresp.StatusCode != http.StatusOK || !bytes.Contains(hb, []byte(`"healthy"`)) {
 		t.Errorf("/healthz: status %d, body %s", hresp.StatusCode, hb)
 	}
 }
@@ -379,7 +379,7 @@ func TestMetricsAndHealthEndpoints(t *testing.T) {
 func TestEvaluationTimeout(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := New(Config{Registry: reg, Timeout: 10 * time.Millisecond, CacheEntries: -1})
-	s.evalHook = func() { time.Sleep(50 * time.Millisecond) }
+	s.AdviseHook = func() { time.Sleep(50 * time.Millisecond) }
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

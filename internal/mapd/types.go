@@ -80,11 +80,14 @@ type AdvisePrediction struct {
 
 // AdviseResponse carries the head (and tail) of the deterministic ranking.
 type AdviseResponse struct {
-	Machine   string             `json:"machine"`
-	Hierarchy []int              `json:"hierarchy"`
-	Evaluated int                `json:"evaluated"` // orders ranked (k!)
-	Best      []AdvisePrediction `json:"best"`
-	Worst     AdvisePrediction   `json:"worst"`
+	Machine   string `json:"machine"`
+	Hierarchy []int  `json:"hierarchy"`
+	Evaluated int    `json:"evaluated"` // orders ranked (k!)
+	// Degraded marks a heuristic ring-cost ranking served while the
+	// advisor circuit breaker was open; Seconds/Bandwidth are absent.
+	Degraded bool               `json:"degraded,omitempty"`
+	Best     []AdvisePrediction `json:"best"`
+	Worst    AdvisePrediction   `json:"worst"`
 }
 
 // SelectRequest asks for the --cpu-bind=map_cpu core list that places N

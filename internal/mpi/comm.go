@@ -22,6 +22,7 @@ type Comm struct {
 	group []int // comm rank -> world rank
 	rank  int   // calling rank's position in group
 	seq   int64 // per-member collective sequence (identical across members)
+	epoch int   // world failure epoch at creation; a later crash revokes the comm
 }
 
 // Size returns the number of ranks in the communicator.
@@ -69,6 +70,7 @@ func (c *Comm) Isend(r *Rank, dst int, tag int64, buf Buf) *Request {
 		panic("mpi: negative user tags are reserved")
 	}
 	c.checkRank(r, dst)
+	c.guard("Send", c.group[dst])
 	return c.w.isend(c.group[c.rank], c.group[dst], userTag(c.id, tag), buf)
 }
 
@@ -78,6 +80,7 @@ func (c *Comm) Irecv(r *Rank, src int, tag int64) *Request {
 		panic("mpi: negative user tags are reserved")
 	}
 	c.checkRank(r, src)
+	c.guard("Recv", c.group[src])
 	return c.w.irecv(c.group[c.rank], c.group[src], userTag(c.id, tag))
 }
 
@@ -106,12 +109,17 @@ func (c *Comm) checkRank(r *Rank, peer int) {
 	}
 }
 
-// internal isend/irecv with collective-private tags.
+// internal isend/irecv with collective-private tags. The guard makes every
+// collective message round abort promptly when the communicator was
+// revoked or the round's peer is dead — this is what turns a crash inside
+// a collective into a typed error on every survivor instead of a hang.
 func (c *Comm) isendTag(dst int, t int64, buf Buf) *Request {
+	c.guard("Send", c.group[dst])
 	return c.w.isend(c.group[c.rank], c.group[dst], t, buf)
 }
 
 func (c *Comm) irecvTag(src int, t int64) *Request {
+	c.guard("Recv", c.group[src])
 	return c.w.irecv(c.group[c.rank], c.group[src], t)
 }
 
@@ -137,6 +145,7 @@ type commSpec struct {
 	id    int
 	group []int
 	rank  int
+	epoch int
 }
 
 // Split partitions the communicator like MPI_Comm_split: ranks passing the
@@ -144,6 +153,7 @@ type commSpec struct {
 // returns nil for colour < 0 (MPI_UNDEFINED). Split itself is free in
 // virtual time (its handshake cost is negligible in every experiment).
 func (c *Comm) Split(r *Rank, color, key int) *Comm {
+	c.guard("Split", -1)
 	seq := c.nextSeq()
 	w := c.w
 	me := c.group[c.rank]
@@ -185,7 +195,7 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 				group[i] = e.worldRank
 			}
 			for i, e := range es {
-				st.result[e.worldRank] = &commSpec{id: id, group: group, rank: i}
+				st.result[e.worldRank] = &commSpec{id: id, group: group, rank: i, epoch: w.epoch}
 			}
 			if sc := w.cfg.Obs; sc != nil {
 				// Ring cost of the new communicator's placement (§3.3):
@@ -206,13 +216,17 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 	} else {
 		w.mu.Unlock()
 		st.done.AwaitOp(r.proc, "Split", -1, 0)
+		if err := st.done.Err(); err != nil {
+			// A member crashed while the split was collecting entries.
+			panic(sim.Abort{Err: err})
+		}
 	}
 	// All members observe the computed result.
 	spec := st.result[me]
 	if spec == nil {
 		return nil
 	}
-	return &Comm{w: w, id: spec.id, group: spec.group, rank: spec.rank}
+	return &Comm{w: w, id: spec.id, group: spec.group, rank: spec.rank, epoch: spec.epoch}
 }
 
 // Dup returns a communicator with the same group and a fresh id.

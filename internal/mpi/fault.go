@@ -1,0 +1,407 @@
+// Fault injection against a live world: crashing ranks and nodes, slowing
+// stragglers, degrading link levels — all at exact virtual times from a
+// deterministic fault.Plan — plus the ULFM-style recovery surface
+// (communicator revocation and Shrink) that lets surviving ranks continue.
+//
+// Semantics on a crash of world rank f at virtual time t:
+//
+//   - f's process is killed: if parked on an operation it never resumes,
+//     and its goroutine exits cleanly.
+//   - Every communicator created before the crash is revoked (the world
+//     epoch is bumped). Any subsequent operation on a revoked communicator
+//     aborts with an error wrapping fault.ErrRankLost naming f, so no rank
+//     can silently keep collective sequence numbers that the dead member
+//     will never match.
+//   - Every unmatched receive posted against f, and every unmatched
+//     rendezvous send addressed to f, is failed: blocked survivors wake
+//     and abort with the same typed error. Transfers already matched and
+//     in flight complete — the bytes were on the wire.
+//   - Survivors that catch the abort (fault.Catch) call Shrink on the
+//     revoked communicator to obtain a fresh communicator of the living
+//     members and continue.
+//
+// Lock order note: event callbacks run with the engine lock held and take
+// w.mu here, while process-context code takes w.mu first and then the
+// engine lock. This cannot deadlock because the engine fires callbacks
+// only when no process goroutine is executing (running == 0), so no
+// process can be inside a w.mu critical section at callback time.
+
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ApplyFaults schedules the plan's events against the world. Call after
+// Spawn and before the engine runs; a nil or empty plan is a no-op. The
+// plan's seed and hash are recorded in the obs scope's run metadata so
+// exported traces and metrics identify the exact degraded configuration.
+func (w *World) ApplyFaults(plan *fault.Plan) error {
+	if plan.Empty() {
+		return nil
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	w.faulty = true
+	if sc := w.cfg.Obs; sc != nil {
+		sc.SetMeta("fault_seed", fmt.Sprint(plan.Seed))
+		sc.SetMeta("fault_plan_hash", plan.Hash())
+		sc.SetMeta("fault_plan", plan.String())
+	}
+	for _, ev := range plan.Materialize(w.Size(), w.coresPerNode) {
+		ev := ev
+		switch ev.Kind {
+		case fault.KindRank:
+			w.engine.At(ev.At, func() { w.killRankLocked(ev.Target) })
+		case fault.KindNode:
+			w.engine.At(ev.At, func() { w.killNodeLocked(ev.Target) })
+		case fault.KindStraggle:
+			if ev.At == 0 {
+				// Processes are released at t=0 before any event fires, so
+				// a t=0 straggler must be slow from its very first step.
+				w.mu.Lock()
+				w.straggle[ev.Target] = ev.Factor
+				w.mu.Unlock()
+				continue
+			}
+			w.engine.At(ev.At, func() { w.straggleRankLocked(ev.Target, ev.Factor) })
+		case fault.KindLink:
+			w.engine.At(ev.At, func() { w.degradeLevelLocked(ev.Level, ev.Factor) })
+		}
+	}
+	return nil
+}
+
+// straggleOf returns the rank's current slowdown factor (>= 1).
+func (w *World) straggleOf(rank int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.straggle[rank]
+}
+
+// stretchLocked returns the latency stretch for a message between two
+// ranks: the slower endpoint's straggle factor. Callers hold w.mu.
+func (w *World) stretchLocked(src, dst int) float64 {
+	if !w.faulty {
+		return 1
+	}
+	s := w.straggle[src]
+	if d := w.straggle[dst]; d > s {
+		s = d
+	}
+	return s
+}
+
+// Lost reports whether a world rank has crashed.
+func (w *World) Lost(rank int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lost[rank]
+}
+
+// LostRanks returns the crashed world ranks, ascending.
+func (w *World) LostRanks() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sortedLostLocked()
+}
+
+func (w *World) sortedLostLocked() []int {
+	out := append([]int(nil), w.lostList...)
+	sort.Ints(out)
+	return out
+}
+
+// AliveRanks returns the surviving world ranks, ascending.
+func (w *World) AliveRanks() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, len(w.lost))
+	for r, dead := range w.lost {
+		if !dead {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailedCores returns the cores of crashed ranks, ascending — the input
+// for topology.Hierarchy.Degrade.
+func (w *World) FailedCores() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, len(w.lostList))
+	for _, r := range w.lostList {
+		out = append(out, w.binding[r])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Epoch returns the world's failure epoch: 0 on a perfect machine, bumped
+// on every crash. Communicators remember the epoch they were created in
+// and are revoked when it changes.
+func (w *World) Epoch() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// rankLostErrLocked builds the typed error for an operation failed by the
+// loss of the given rank. Callers hold w.mu.
+func (w *World) rankLostErrLocked(op string, rank int, at float64) error {
+	return &fault.RankLostError{
+		Rank:  rank,
+		Node:  w.nodeOf(w.binding[rank]),
+		At:    at,
+		Op:    op,
+		Ranks: w.sortedLostLocked(),
+	}
+}
+
+// revokedErrLocked builds the typed error for an operation on a revoked
+// communicator; it names the most recent crash. Callers hold w.mu.
+func (w *World) revokedErrLocked(op string) error {
+	e := w.lastLoss // copy
+	e.Op = op
+	e.Ranks = w.sortedLostLocked()
+	return fmt.Errorf("mpi: communicator revoked: %w", &e)
+}
+
+// killNodeLocked crashes every rank bound to a core of the node. Runs in
+// event-callback context (engine lock held).
+func (w *World) killNodeLocked(node int) {
+	for r, core := range w.binding {
+		if w.nodeOf(core) == node {
+			w.killRankLocked(r)
+		}
+	}
+}
+
+// killRankLocked crashes one world rank. Runs in event-callback context
+// (engine lock held).
+func (w *World) killRankLocked(rank int) {
+	now := w.engine.NowLocked()
+	w.mu.Lock()
+	if w.lost[rank] {
+		w.mu.Unlock()
+		return
+	}
+	w.lost[rank] = true
+	w.lostList = append(w.lostList, rank)
+	w.epoch++
+	w.lastLoss = fault.RankLostError{Rank: rank, Node: w.nodeOf(w.binding[rank]), At: now}
+
+	// Kill the process first: if it was parked, it wakes exactly once (to
+	// die), and the condition failures below cannot double-wake it.
+	w.procs[rank].KillLocked()
+
+	// Poison every unmatched point-to-point operation, world-wide. All of
+	// them belong to communicators created before this crash — which are
+	// all revoked now — so none can legally match again: a pre-crash
+	// receive can only be matched by a peer's later send, and that send is
+	// stopped by the revocation guard. Failing them here is what makes
+	// recovery composable: a survivor blocked on another survivor (which
+	// aborted out of the same collective) wakes with the typed error
+	// instead of hanging. Matched transfers already in flight complete —
+	// the bytes were on the wire. Conditions collect first and fail after
+	// the queues are consistent.
+	var failed []*sim.Condition
+	for dst := range w.mail {
+		for key, q := range w.mail[dst] {
+			for _, rv := range q.recvs {
+				failed = append(failed, rv.fin)
+			}
+			for _, snd := range q.sends {
+				if !snd.started {
+					failed = append(failed, snd.senderFin)
+				}
+			}
+			delete(w.mail[dst], key)
+		}
+	}
+	// Pending splits can never complete: a member is gone and the
+	// communicator is revoked either way.
+	for sk, st := range w.splits {
+		failed = append(failed, st.done)
+		delete(w.splits, sk)
+	}
+	err := w.rankLostErrLocked("", rank, now)
+	w.engine.SetDeadlockNoteLocked(fault.LostRanks(w.sortedLostLocked()))
+
+	// A pending shrink may become complete now that this rank no longer
+	// counts as a required participant.
+	var shrinksDone []*sim.Condition
+	for _, st := range w.shrinks {
+		if w.tryFinishShrinkLocked(st) {
+			shrinksDone = append(shrinksDone, st.done)
+		}
+	}
+
+	if sc := w.cfg.Obs; sc != nil {
+		core := w.binding[rank]
+		sc.Instant(w.nodeOf(core), rank, "fault:crash", "fault", now,
+			obs.Arg{Key: "rank", Val: int64(rank)},
+			obs.Arg{Key: "core", Val: int64(core)})
+		sc.Registry().Counter("mpi_faults_total", obs.L("kind", "crash")).AddInt(1)
+		sc.Registry().Gauge("mpi_ranks_lost").Add(1)
+	}
+	w.mu.Unlock()
+
+	for _, c := range failed {
+		c.FailLocked(err)
+	}
+	for _, c := range shrinksDone {
+		c.FireLocked()
+	}
+}
+
+// straggleRankLocked applies a slowdown factor to one rank. Runs in
+// event-callback context (engine lock held).
+func (w *World) straggleRankLocked(rank int, factor float64) {
+	w.mu.Lock()
+	w.straggle[rank] = factor
+	w.mu.Unlock()
+	if sc := w.cfg.Obs; sc != nil {
+		core := w.binding[rank]
+		sc.Instant(w.nodeOf(core), rank, "fault:straggle", "fault", w.engine.NowLocked(),
+			obs.Arg{Key: "rank", Val: int64(rank)},
+			obs.Arg{Key: "factor_x1000", Val: int64(factor * 1000)})
+		sc.Registry().Counter("mpi_faults_total", obs.L("kind", "straggle")).AddInt(1)
+	}
+}
+
+// degradeLevelLocked degrades every link at one hierarchy level. Runs in
+// event-callback context (engine lock held).
+func (w *World) degradeLevelLocked(level int, factor float64) {
+	w.platform.DegradeLevel(level, factor)
+	if sc := w.cfg.Obs; sc != nil {
+		sc.Instant(0, 0, "fault:link", "fault", w.engine.NowLocked(),
+			obs.Arg{Key: "level", Val: int64(level)},
+			obs.Arg{Key: "factor_x1000", Val: int64(factor * 1000)})
+		sc.Registry().Counter("mpi_faults_total", obs.L("kind", "link")).AddInt(1)
+	}
+}
+
+// guard aborts the calling rank if the communicator was revoked by a crash
+// or the addressed peer (world rank; pass -1 for none) is dead. It is the
+// entry check of every communicator operation, skipped entirely on a
+// perfect machine.
+func (c *Comm) guard(op string, peerWorld int) {
+	w := c.w
+	if !w.faulty {
+		return
+	}
+	w.mu.Lock()
+	var err error
+	switch {
+	case c.epoch != w.epoch:
+		err = w.revokedErrLocked(op)
+	case peerWorld >= 0 && w.lost[peerWorld]:
+		err = fmt.Errorf("mpi: %w", w.rankLostErrLocked(op, peerWorld, w.lastLoss.At))
+	}
+	w.mu.Unlock()
+	if err != nil {
+		panic(sim.Abort{Err: err})
+	}
+}
+
+// shrinkKey identifies one collective Shrink call site: survivors execute
+// the same collective sequence, so (comm, seq) matches their calls up.
+type shrinkKey struct {
+	commID int
+	seq    int64
+}
+
+type shrinkState struct {
+	comm    *Comm // any member's handle; group/id shared
+	key     shrinkKey
+	arrived map[int]bool // world ranks that entered Shrink
+	done    *sim.Condition
+	result  map[int]*commSpec
+}
+
+// Shrink derives a new communicator containing the surviving members of c,
+// preserving their relative rank order — the ULFM recovery primitive. All
+// living members must call it (like a collective); it completes when they
+// have, even if further members crash while the shrink is in progress.
+// Unlike every other operation, Shrink works on a revoked communicator:
+// that is its purpose. Ranks whose color/key games are done should then
+// re-split the shrunk communicator as usual.
+func (c *Comm) Shrink(r *Rank) *Comm {
+	seq := c.nextSeq()
+	w := c.w
+	me := c.group[c.rank]
+
+	w.mu.Lock()
+	if w.lost[me] {
+		// Cannot happen: a dead rank's goroutine never runs.
+		w.mu.Unlock()
+		panic("mpi: dead rank called Shrink")
+	}
+	sk := shrinkKey{commID: c.id, seq: seq}
+	st := w.shrinks[sk]
+	if st == nil {
+		st = &shrinkState{
+			comm:    c,
+			key:     sk,
+			arrived: make(map[int]bool),
+			done:    w.engine.NewCondition(),
+		}
+		w.shrinks[sk] = st
+	}
+	st.arrived[me] = true
+	finished := w.tryFinishShrinkLocked(st)
+	w.mu.Unlock()
+
+	if finished {
+		st.done.Fire()
+	} else {
+		st.done.AwaitOp(r.proc, "Shrink", -1, 0)
+	}
+	spec := st.result[me]
+	if spec == nil {
+		// Only possible if this rank was killed between arriving and the
+		// shrink completing — in which case it never gets here.
+		panic(sim.Abort{Err: fmt.Errorf("mpi: shrink lost caller: %w", fault.ErrRankLost)})
+	}
+	return &Comm{w: w, id: spec.id, group: spec.group, rank: spec.rank, epoch: spec.epoch}
+}
+
+// tryFinishShrinkLocked completes the shrink if every surviving member of
+// the communicator has arrived, computing the new communicator layout.
+// Returns true when it completed in this call; the caller then fires
+// st.done (after releasing w.mu). Callers hold w.mu.
+func (w *World) tryFinishShrinkLocked(st *shrinkState) bool {
+	if st.result != nil {
+		return false
+	}
+	group := make([]int, 0, len(st.comm.group))
+	for _, wr := range st.comm.group {
+		if w.lost[wr] {
+			continue
+		}
+		if !st.arrived[wr] {
+			return false // a survivor has not arrived yet
+		}
+		group = append(group, wr)
+	}
+	id := w.commSeq
+	w.commSeq++
+	st.result = make(map[int]*commSpec, len(group))
+	for i, wr := range group {
+		st.result[wr] = &commSpec{id: id, group: group, rank: i, epoch: w.epoch}
+	}
+	delete(w.shrinks, st.key)
+	if sc := w.cfg.Obs; sc != nil {
+		sc.Registry().Counter("mpi_shrinks_total").AddInt(1)
+		sc.Registry().Counter("mpi_comms_created_total", obs.L("size", fmt.Sprintf("%d", len(group)))).AddInt(1)
+	}
+	return true
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -63,6 +64,9 @@ type Config struct {
 	ForceAllgather string
 	ForceAllreduce string
 	ForceBcast     string
+	// Faults is a deterministic fault plan injected into the world (node
+	// crashes, stragglers, link degradation); nil runs a perfect machine.
+	Faults *fault.Plan
 }
 
 // World is one simulated MPI job.
@@ -76,6 +80,18 @@ type World struct {
 	mail    []map[matchKey]*matchQueue // per destination rank
 	commSeq int
 	splits  map[splitKey]*splitState
+
+	// Fault-injection state (see fault.go). faulty is set once by
+	// ApplyFaults before the engine runs, so the hot paths skip every
+	// fault check on a perfect machine with one predictable branch.
+	faulty   bool
+	procs    []*sim.Process // by world rank, recorded at Spawn
+	lost     []bool         // by world rank
+	lostList []int          // world ranks lost, in crash order
+	lastLoss fault.RankLostError
+	epoch    int // bumped on every crash; revokes pre-crash communicators
+	straggle []float64
+	shrinks  map[shrinkKey]*shrinkState
 
 	// Observability state, pre-resolved at NewWorld so the hot paths pay
 	// one nil check when disabled and no registry lookups when enabled.
@@ -150,6 +166,13 @@ func NewWorld(engine *sim.Engine, platform *netmodel.Platform, binding []int, cf
 		w.mail[i] = make(map[matchKey]*matchQueue)
 	}
 	w.commSeq = 1 // id 0 is the world communicator
+	w.procs = make([]*sim.Process, n)
+	w.lost = make([]bool, n)
+	w.straggle = make([]float64, n)
+	for i := range w.straggle {
+		w.straggle[i] = 1
+	}
+	w.shrinks = make(map[shrinkKey]*shrinkState)
 	hier := platform.Hierarchy()
 	w.coresPerNode = platform.NumCores() / hier.Level(0).Arity
 	if sc := cfg.Obs; sc != nil {
@@ -189,7 +212,7 @@ func (w *World) Spawn(body func(r *Rank)) {
 			sc.SetThreadName(node, rank, fmt.Sprintf("rank%d@core%d", rank, core))
 			sc.BindProc(name, node, rank)
 		}
-		w.engine.Spawn(name, func(p *sim.Process) {
+		w.procs[rank] = w.engine.Spawn(name, func(p *sim.Process) {
 			r := &Rank{w: w, proc: p, id: rank}
 			r.world = &Comm{w: w, id: 0, group: group, rank: rank}
 			body(r)
@@ -213,6 +236,9 @@ func Run(spec netmodel.Spec, binding []int, cfg Config, body func(r *Rank)) (flo
 		engine.SetObserver(eo)
 	}
 	w.Spawn(body)
+	if err := w.ApplyFaults(cfg.Faults); err != nil {
+		return 0, err
+	}
 	runErr := engine.Run()
 	eo.Finish()
 	if runErr != nil {
@@ -234,11 +260,23 @@ func (r *Rank) Now() float64 { return r.proc.Now() }
 func (r *Rank) Core() int { return r.w.binding[r.id] }
 
 // Wait advances the rank's virtual time by d seconds (pure local work).
-func (r *Rank) Wait(d float64) { r.proc.Wait(d) }
+// A straggling rank's local work is stretched by its slowdown factor.
+func (r *Rank) Wait(d float64) {
+	if r.w.faulty {
+		d *= r.w.straggleOf(r.id)
+	}
+	r.proc.Wait(d)
+}
 
 // Compute models a roofline kernel on the rank's core: flops of arithmetic
 // and bytes of memory traffic through the core's shared memory domains.
+// A straggling rank's kernel does the same work at 1/factor speed.
 func (r *Rank) Compute(flops, bytes float64) {
+	if r.w.faulty {
+		f := r.w.straggleOf(r.id)
+		flops *= f
+		bytes *= f
+	}
 	r.w.platform.Compute(r.proc, r.w.binding[r.id], flops, bytes)
 }
 
@@ -251,12 +289,20 @@ type Request struct {
 	op   string
 	peer int // world rank of the remote side
 	tag  int64
+	chk  bool // fault injection active: Wait must check for a failed condition
 }
 
 // Wait blocks the rank until the operation completes; for receives it
-// returns the received payload.
+// returns the received payload. If the operation failed because the peer
+// crashed, Wait aborts the rank with an error wrapping fault.ErrRankLost
+// (recoverable on survivors via fault.Catch).
 func (req *Request) Wait(r *Rank) Buf {
 	req.fin.AwaitOp(r.proc, req.op, req.peer, req.tag)
+	if req.chk {
+		if err := req.fin.Err(); err != nil {
+			panic(sim.Abort{Err: err})
+		}
+	}
 	if req.buf != nil {
 		return *req.buf
 	}
@@ -266,7 +312,7 @@ func (req *Request) Wait(r *Rank) Buf {
 // WaitAll completes all requests.
 func WaitAll(r *Rank, reqs ...*Request) {
 	for _, q := range reqs {
-		q.fin.AwaitOp(r.proc, q.op, q.peer, q.tag)
+		q.Wait(r)
 	}
 }
 
@@ -301,6 +347,7 @@ func (w *World) isend(src, dst int, tag int64, buf Buf) *Request {
 	eager := buf.Bytes <= w.cfg.EagerThreshold
 
 	w.mu.Lock()
+	stretch := w.stretchLocked(src, dst)
 	q := w.queueFor(dst, src, tag)
 	if len(q.recvs) > 0 {
 		// A receive is already posted: start the transfer now. Rendezvous
@@ -309,7 +356,7 @@ func (w *World) isend(src, dst int, tag int64, buf Buf) *Request {
 		q.recvs = q.recvs[1:]
 		w.mu.Unlock()
 		payload := buf.Clone()
-		c := w.platform.StartTransfer(srcCore, dstCore, float64(buf.Bytes))
+		c := w.platform.StartTransferStretched(srcCore, dstCore, float64(buf.Bytes), 0, stretch)
 		c.OnFire(func() {
 			*rv.buf = payload
 			rv.fin.FireLocked()
@@ -318,9 +365,9 @@ func (w *World) isend(src, dst int, tag int64, buf Buf) *Request {
 			// Eager sends complete locally right away.
 			fin := w.engine.NewCondition()
 			fin.Fire()
-			return &Request{fin: fin, op: "Send", peer: dst, tag: tag}
+			return &Request{fin: fin, op: "Send", peer: dst, tag: tag, chk: w.faulty}
 		}
-		return &Request{fin: c, op: "Send", peer: dst, tag: tag}
+		return &Request{fin: c, op: "Send", peer: dst, tag: tag, chk: w.faulty}
 	}
 	// No receive yet: enqueue.
 	rec := &sendRec{buf: buf.Clone(), srcCore: srcCore, dstCore: dstCore}
@@ -330,14 +377,14 @@ func (w *World) isend(src, dst int, tag int64, buf Buf) *Request {
 		// Launch the transfer immediately; the sender is done already.
 		// The transfer must be attached before the record becomes visible.
 		rec.started = true
-		rec.transfer = w.platform.StartTransfer(srcCore, dstCore, float64(buf.Bytes))
+		rec.transfer = w.platform.StartTransferStretched(srcCore, dstCore, float64(buf.Bytes), 0, stretch)
 	}
 	q.sends = append(q.sends, rec)
 	w.mu.Unlock()
 	if eager {
 		fin.Fire()
 	}
-	return &Request{fin: fin, op: "Send", peer: dst, tag: tag}
+	return &Request{fin: fin, op: "Send", peer: dst, tag: tag, chk: w.faulty}
 }
 
 // irecv posts a receive at world rank dst for a message from src.
@@ -347,6 +394,7 @@ func (w *World) irecv(dst, src int, tag int64) *Request {
 	dstCore := w.binding[dst]
 
 	w.mu.Lock()
+	stretch := w.stretchLocked(src, dst)
 	q := w.queueFor(dst, src, tag)
 	if len(q.sends) > 0 {
 		rec := q.sends[0]
@@ -361,16 +409,16 @@ func (w *World) irecv(dst, src int, tag int64) *Request {
 		} else {
 			// Rendezvous: the receiver triggers the transfer and pays the
 			// handshake round trip on top of the path latency.
-			c := w.platform.StartTransferExtra(rec.srcCore, dstCore, float64(rec.buf.Bytes), 1)
+			c := w.platform.StartTransferStretched(rec.srcCore, dstCore, float64(rec.buf.Bytes), 1, stretch)
 			c.OnFire(func() {
 				*out = rec.buf
 				fin.FireLocked()
 				rec.senderFin.FireLocked()
 			})
 		}
-		return &Request{fin: fin, buf: out, op: "Recv", peer: src, tag: tag}
+		return &Request{fin: fin, buf: out, op: "Recv", peer: src, tag: tag, chk: w.faulty}
 	}
 	q.recvs = append(q.recvs, &recvRec{fin: fin, buf: out})
 	w.mu.Unlock()
-	return &Request{fin: fin, buf: out, op: "Recv", peer: src, tag: tag}
+	return &Request{fin: fin, buf: out, op: "Recv", peer: src, tag: tag, chk: w.faulty}
 }

@@ -406,3 +406,10 @@ func (f *Fluid) scheduleNextLocked() {
 
 // ActiveFlows returns the number of in-flight flows (diagnostic).
 func (f *Fluid) ActiveFlows() int { return len(f.flows) }
+
+// RebalanceLocked requests a fair-share recomputation after link capacities
+// changed out-of-band (fault injection degrading a level). In-flight flows
+// are settled at their old rates up to the current instant first, so the
+// degradation takes effect exactly now. Must be called from an event
+// callback (engine lock held).
+func (f *Fluid) RebalanceLocked() { f.markDirtyLocked() }

@@ -238,8 +238,45 @@ func (p *Platform) StartTransfer(a, b int, bytes float64) *sim.Condition {
 // by the MPI layer to charge rendezvous handshakes (the path latency is
 // multiplied by 1+extraRTT round trips).
 func (p *Platform) StartTransferExtra(a, b int, bytes float64, extraRTT int) *sim.Condition {
+	return p.StartTransferStretched(a, b, bytes, extraRTT, 1)
+}
+
+// StartTransferStretched is StartTransferExtra with the path latency
+// additionally multiplied by stretch (>= 1). Fault injection uses it to
+// model a straggling endpoint: the wire stays at full bandwidth, but every
+// message touching the straggler pays its slowdown in latency.
+func (p *Platform) StartTransferStretched(a, b int, bytes float64, extraRTT int, stretch float64) *sim.Condition {
 	path, lat := p.CommPath(a, b)
-	return p.fluid.StartTransfer(path, bytes, lat*float64(1+2*extraRTT))
+	if stretch < 1 {
+		stretch = 1
+	}
+	return p.fluid.StartTransfer(path, bytes, lat*float64(1+2*extraRTT)*stretch)
+}
+
+// DegradeLevel multiplies the capacity of every finite link at the given
+// hierarchy level — uplinks, buses, memory, and (for level 0) the fabric —
+// by factor in (0, 1], then rebalances in-flight flows so the degradation
+// takes effect at the current virtual instant. Must be called from an
+// event callback (engine lock held).
+func (p *Platform) DegradeLevel(level int, factor float64) {
+	if level < 0 || level >= p.hier.Depth() || factor <= 0 || factor > 1 {
+		return
+	}
+	scale := func(links []*Link) {
+		for _, l := range links {
+			if l != nil && l.Capacity > 0 {
+				l.Capacity *= factor
+			}
+		}
+	}
+	scale(p.out[level])
+	scale(p.in[level])
+	scale(p.bus[level])
+	scale(p.mem[level])
+	if level == 0 && p.fabric != nil {
+		p.fabric.Capacity *= factor
+	}
+	p.fluid.RebalanceLocked()
 }
 
 // Transfer performs a blocking a→b message from the calling process.

@@ -85,6 +85,7 @@ type Scope struct {
 	procNames   map[int]string
 	threadNames map[[2]int]string
 	procBind    map[string][2]int // sim process name -> (pid, tid)
+	meta        map[string]string // run metadata exported with traces/metrics
 }
 
 // New returns an enabled Scope.
@@ -98,7 +99,36 @@ func New(opts Options) *Scope {
 		procNames:   map[int]string{},
 		threadNames: map[[2]int]string{},
 		procBind:    map[string][2]int{},
+		meta:        map[string]string{},
 	}
+}
+
+// SetMeta records one key/value of run metadata (e.g. the fault-plan seed
+// and hash). Metadata is embedded in the Perfetto export's otherData block
+// and mirrored as an obs_run_info gauge so both trace and metric consumers
+// can attribute a run to its exact configuration.
+func (s *Scope) SetMeta(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.meta[key] = value
+	s.mu.Unlock()
+	s.reg.Gauge("obs_run_info", L(key, value)).Set(1)
+}
+
+// Meta returns a copy of the run metadata.
+func (s *Scope) Meta() map[string]string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.meta))
+	for k, v := range s.meta {
+		out[k] = v
+	}
+	return out
 }
 
 // Enabled reports whether the scope records anything.

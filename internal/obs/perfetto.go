@@ -25,8 +25,9 @@ type traceEvent struct {
 }
 
 type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
 }
 
 // secToUS converts virtual seconds to trace microseconds.
@@ -104,5 +105,5 @@ func WriteTraceJSON(w io.Writer, s *Scope) error {
 	})
 
 	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms", OtherData: s.Meta()})
 }

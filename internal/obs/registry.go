@@ -321,6 +321,19 @@ func (r *Registry) FindCounter(name string, labels ...Label) float64 {
 	return c.Value()
 }
 
+// FindGauge returns the current value of the gauge with the given name
+// and labels, or 0 when absent.
+func (r *Registry) FindGauge(name string, labels ...Label) float64 {
+	if r == nil {
+		return 0
+	}
+	key := name + labelString(labels)
+	r.mu.Lock()
+	g := r.gauges[key]
+	r.mu.Unlock()
+	return g.Value()
+}
+
 // SumCounters returns the summed value of every counter with the name,
 // across all label sets.
 func (r *Registry) SumCounters(name string) float64 {

@@ -1,0 +1,53 @@
+// Degraded re-enumeration: after cores fail, the recovery order of the
+// survivors is obtained by running the same mixed-radix enumeration that
+// produced the original reordering and simply skipping the holes. The
+// survivors keep their relative σ-order, so a recovery launcher can reuse
+// the rankfile machinery with a shrunken world.
+
+package reorder
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// SurvivorOrder enumerates the surviving cores of a degraded hierarchy in
+// σ-order: position i of the result is the core that (shrunken) recovery
+// rank i should bind to. It is the existing mixed-radix core selection
+// (Reordering.Binding) filtered to the alive mask.
+func SurvivorOrder(d topology.Degraded, sigma []int) ([]int, error) {
+	ro, err := New(d.Base(), sigma)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, d.NumAlive())
+	for newRank := 0; newRank < ro.Size(); newRank++ {
+		core := ro.OldRank(newRank)
+		if d.Alive(core) {
+			out = append(out, core)
+		}
+	}
+	return out, nil
+}
+
+// SurvivorRankfile writes the recovery rankfile: shrunken rank i is bound
+// to the i-th surviving core of the σ-enumeration.
+func SurvivorRankfile(w io.Writer, d topology.Degraded, sigma []int) error {
+	order, err := SurvivorOrder(d, sigma)
+	if err != nil {
+		return err
+	}
+	ar := d.Base().Arities()
+	coresPerNode := 1
+	for _, a := range ar[1:] {
+		coresPerNode *= a
+	}
+	for rank, core := range order {
+		if _, err := fmt.Fprintf(w, "rank %d=node%d slot=%d\n", rank, core/coresPerNode, core%coresPerNode); err != nil {
+			return err
+		}
+	}
+	return nil
+}

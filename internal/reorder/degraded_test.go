@@ -1,0 +1,95 @@
+package reorder
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestSurvivorOrderIdentity(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	d, err := h.Degrade(3, 7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ = [2 1 0] (core varies fastest) reproduces the natural enumeration,
+	// minus the holes.
+	got, err := SurvivorOrder(d, []int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 4, 5, 6, 8, 9, 10, 11, 13, 14, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SurvivorOrder = %v, want %v", got, want)
+	}
+}
+
+func TestSurvivorOrderReordered(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	// σ = [0 1 2]: the node level varies fastest — round-robin across nodes.
+	ro, err := New(h, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ro.Binding()
+
+	d, err := h.Degrade(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SurvivorOrder(d, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The survivor order is the full σ-enumeration with the holes removed,
+	// preserving relative order.
+	want := make([]int, 0, 14)
+	for _, core := range full {
+		if core != 0 && core != 8 {
+			want = append(want, core)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SurvivorOrder = %v, want %v", got, want)
+	}
+	if len(got) != d.NumAlive() {
+		t.Fatalf("len = %d, want %d", len(got), d.NumAlive())
+	}
+
+	if _, err := SurvivorOrder(d, []int{0, 1}); err == nil {
+		t.Fatal("bad σ accepted")
+	}
+}
+
+func TestSurvivorRankfile(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	d, err := h.Degrade(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := SurvivorRankfile(&b, d, []int{2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 15 {
+		t.Fatalf("%d rankfile lines, want 15", len(lines))
+	}
+	if lines[0] != "rank 0=node0 slot=0" {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	// Core 1 failed, so recovery rank 1 lands on core 2.
+	if lines[1] != "rank 1=node0 slot=2" {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	// The shrunken rankfile must round-trip through the existing parser.
+	binding, err := ParseRankfile(strings.NewReader(b.String()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binding) != 15 || binding[1] != 2 || binding[14] != 15 {
+		t.Fatalf("parsed binding = %v", binding)
+	}
+}

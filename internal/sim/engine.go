@@ -24,6 +24,19 @@ import (
 // pending — e.g. a Recv whose matching Send never arrives.
 var ErrDeadlock = errors.New("sim: deadlock — processes blocked with no pending event")
 
+// Abort is the panic value a process body (or a library underneath it, such
+// as the MPI runtime) throws to terminate the whole simulation with a typed
+// error instead of a generic "process panicked" failure: Run wraps Err with
+// %w, so callers can errors.Is/As against it. Recover-and-inspect
+// wrappers (fault.Catch) may intercept an Abort before it reaches the
+// engine and let the process continue.
+type Abort struct{ Err error }
+
+// killedPanic terminates the goroutine of a process killed by fault
+// injection. It is never visible to user code: Spawn's recover treats it
+// as a clean process exit.
+type killedPanic struct{}
+
 type event struct {
 	at  float64
 	seq uint64
@@ -81,7 +94,16 @@ type Engine struct {
 	stopped bool
 	failure error
 	obs     Observer
+
+	// deadlockNote is extra context (e.g. which ranks were lost to fault
+	// injection) appended to a deadlock report.
+	deadlockNote string
 }
+
+// SetDeadlockNoteLocked records a note appended to any subsequent deadlock
+// report, so that e.g. a hang after fault injection names the lost ranks.
+// Must be called with the engine lock held (event-callback context).
+func (e *Engine) SetDeadlockNoteLocked(note string) { e.deadlockNote = note }
 
 // SetObserver installs the engine observer. Call before Run; a nil
 // observer (the default) disables all callbacks.
@@ -140,6 +162,8 @@ type Process struct {
 	name   string
 	wake   chan float64
 	done   bool
+	parked bool // true while blocked in block(); guards double-unblock
+	killed bool // set by KillLocked; the process dies at its next wake
 
 	// blocked-on description for deadlock diagnostics; written under the
 	// engine lock by AwaitOp and cleared on wake.
@@ -181,40 +205,71 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 	go func() {
 		<-p.wake // wait for Run to release the process
 		defer func() {
-			if r := recover(); r != nil {
-				e.mu.Lock()
+			r := recover()
+			e.mu.Lock()
+			switch v := r.(type) {
+			case nil:
+				// normal return
+			case killedPanic:
+				// fault-injected crash: a clean exit, not a failure
+			case Abort:
+				if e.failure == nil {
+					e.failure = fmt.Errorf("sim: process %q aborted: %w", name, v.Err)
+				}
+			default:
 				if e.failure == nil {
 					e.failure = fmt.Errorf("sim: process %q panicked: %v\n%s", name, r, debug.Stack())
 				}
-				p.done = true
-				e.running--
-				e.cond.Signal()
-				e.mu.Unlock()
 			}
+			p.done = true
+			e.running--
+			e.cond.Signal()
+			e.mu.Unlock()
 		}()
 		body(p)
-		e.mu.Lock()
-		p.done = true
-		e.running--
-		e.cond.Signal()
-		e.mu.Unlock()
 	}()
 	return p
 }
+
+// KillLocked marks the process as crashed. If it is parked on a simulated
+// operation it is woken immediately and its goroutine terminates (via an
+// internal panic that Spawn treats as a clean exit); otherwise it dies the
+// next time it blocks. Must be called with the engine lock held — i.e.
+// from an event callback, which only runs when no process is executing.
+func (p *Process) KillLocked() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if p.parked {
+		p.unblock()
+	}
+}
+
+// KilledLocked reports whether the process has been killed by fault
+// injection. Must be called with the engine lock held.
+func (p *Process) KilledLocked() bool { return p.killed }
 
 // block parks the calling process until an event wakes it via unblock.
 // The engine lock must be held on entry; it is released while parked and
 // re-acquired before returning. Returns the wake time.
 func (p *Process) block() float64 {
 	e := p.engine
+	if p.killed {
+		panic(killedPanic{})
+	}
 	if e.obs != nil {
 		e.obs.OnBlock(p.name, e.now)
 	}
+	p.parked = true
 	e.running--
 	e.cond.Signal()
 	e.mu.Unlock()
 	t := <-p.wake
 	e.mu.Lock()
+	if p.killed {
+		panic(killedPanic{})
+	}
 	if e.obs != nil {
 		var lat float64
 		if !p.wakeWall.IsZero() {
@@ -228,7 +283,13 @@ func (p *Process) block() float64 {
 
 // unblock marks the process runnable at the current virtual time. Must be
 // called with the engine lock held (typically from an event callback).
+// Idempotent: a process already woken (e.g. by KillLocked racing a
+// condition failure) is not woken twice.
 func (p *Process) unblock() {
+	if !p.parked {
+		return
+	}
+	p.parked = false
 	e := p.engine
 	if e.obs != nil {
 		p.wakeWall = time.Now()
@@ -270,6 +331,7 @@ func (p *Process) WaitUntil(t float64) {
 type Condition struct {
 	engine    *Engine
 	fired     bool
+	err       error // non-nil when the condition was failed, not fired
 	waiters   []*Process
 	callbacks []func()
 }
@@ -294,6 +356,29 @@ func (c *Condition) FireLocked() {
 	}
 	c.waiters = nil
 }
+
+// FailLocked fires the condition with an error: waiters wake as usual but
+// Err reports err afterwards, letting the operation that was awaiting the
+// condition surface a typed failure (e.g. a lost rank) instead of hanging.
+// No-op if the condition already fired or failed.
+func (c *Condition) FailLocked(err error) {
+	if c.fired {
+		return
+	}
+	c.err = err
+	c.FireLocked()
+}
+
+// Err returns the error the condition was failed with, or nil if it fired
+// normally (or has not fired yet). Safe from process context.
+func (c *Condition) Err() error {
+	c.engine.mu.Lock()
+	defer c.engine.mu.Unlock()
+	return c.err
+}
+
+// ErrLocked is Err for use with the engine lock already held.
+func (c *Condition) ErrLocked() error { return c.err }
 
 // OnFire registers fn to run (under the engine lock) when the condition
 // fires; if it has already fired, fn runs immediately. Safe from process
@@ -434,5 +519,9 @@ func (e *Engine) deadlockError() error {
 	if total > len(blocked) {
 		suffix = fmt.Sprintf(" … and %d more", total-len(blocked))
 	}
-	return fmt.Errorf("%w (%d blocked: %s%s)", ErrDeadlock, total, strings.Join(blocked, "; "), suffix)
+	note := ""
+	if e.deadlockNote != "" {
+		note = "; " + e.deadlockNote
+	}
+	return fmt.Errorf("%w (%d blocked: %s%s%s)", ErrDeadlock, total, strings.Join(blocked, "; "), suffix, note)
 }

@@ -1,0 +1,177 @@
+// Degraded hierarchies: a regular hierarchy with failed cores punched out.
+// After a crash the machine is no longer a clean mixed-radix space — some
+// domains have fewer survivors than their arity — so the degraded view
+// keeps the regular base (coordinates and crossing costs still follow the
+// original radices) plus an aliveness mask, and exposes the per-domain
+// survivor counts (the "irregular radices with holes") that recovery
+// enumeration works over.
+
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Degraded is a hierarchy with a set of failed cores. The zero value is
+// invalid; use Hierarchy.Degrade.
+type Degraded struct {
+	base  Hierarchy
+	alive []bool
+	n     int // number of alive cores
+}
+
+// Degrade returns the degraded view of the hierarchy with the given cores
+// failed. Failing a core twice is allowed; out-of-range cores are an error.
+func (h Hierarchy) Degrade(failedCores ...int) (Degraded, error) {
+	size := h.Size()
+	alive := make([]bool, size)
+	for i := range alive {
+		alive[i] = true
+	}
+	n := size
+	for _, c := range failedCores {
+		if c < 0 || c >= size {
+			return Degraded{}, fmt.Errorf("%w: failed core %d outside hierarchy %s", ErrBadLevel, c, h)
+		}
+		if alive[c] {
+			alive[c] = false
+			n--
+		}
+	}
+	return Degraded{base: h, alive: alive, n: n}, nil
+}
+
+// Base returns the regular hierarchy the degraded view is built on.
+func (d Degraded) Base() Hierarchy { return d.base }
+
+// NumAlive returns the number of surviving cores.
+func (d Degraded) NumAlive() int { return d.n }
+
+// NumFailed returns the number of failed cores.
+func (d Degraded) NumFailed() int { return len(d.alive) - d.n }
+
+// Alive reports whether a core survived.
+func (d Degraded) Alive(core int) bool { return core >= 0 && core < len(d.alive) && d.alive[core] }
+
+// AliveCores returns the surviving cores in initial-enumeration order.
+func (d Degraded) AliveCores() []int {
+	out := make([]int, 0, d.n)
+	for c, ok := range d.alive {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FailedCores returns the failed cores, ascending.
+func (d Degraded) FailedCores() []int {
+	out := make([]int, 0, len(d.alive)-d.n)
+	for c, ok := range d.alive {
+		if !ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DomainSurvivors returns, for every level-l domain in enumeration order,
+// how many cores inside it survived — the irregular radices of the
+// degraded hierarchy. A level-l domain is one entity of that level and
+// spans the product of the arities below it: on a node/socket/core
+// machine, level 0 gives per-node survivor counts, level 1 per-socket
+// counts, and the core level a 0/1 aliveness vector.
+func (d Degraded) DomainSurvivors(level int) ([]int, error) {
+	depth := d.base.Depth()
+	if level < 0 || level >= depth {
+		return nil, fmt.Errorf("%w: no level %d in %s", ErrBadLevel, level, d.base)
+	}
+	ar := d.base.Arities()
+	domainSize := 1
+	for i := level + 1; i < depth; i++ {
+		domainSize *= ar[i]
+	}
+	counts := make([]int, len(d.alive)/domainSize)
+	for c, ok := range d.alive {
+		if ok {
+			counts[c/domainSize]++
+		}
+	}
+	return counts, nil
+}
+
+// Uniform reports whether the surviving cores still form a regular
+// mixed-radix hierarchy — true exactly when, at every level, every domain
+// with any survivor has the same number of surviving children. When true,
+// the returned hierarchy re-enumerates the survivors with the original
+// level names (levels whose arity collapses to 1 are dropped unless the
+// hierarchy would become empty).
+func (d Degraded) Uniform() (Hierarchy, bool) {
+	if d.n == 0 {
+		return Hierarchy{}, false
+	}
+	if d.n == len(d.alive) {
+		return d.base, true
+	}
+	depth := d.base.Depth()
+	ar := d.base.Arities()
+	// Walk bottom-up: a domain is live when it contains at least one
+	// survivor; at each level, every live domain must hold the same count
+	// of live child domains for the survivors to stay mixed-radix.
+	newAr := make([]int, depth)
+	liveChild := map[int]bool{} // live domains at level l+1 (child granularity)
+	for c, ok := range d.alive {
+		if ok {
+			liveChild[c] = true
+		}
+	}
+	for l := depth - 1; l >= 0; l-- {
+		liveParent := map[int]bool{}
+		children := map[int]int{}
+		for child := range liveChild {
+			parent := child / ar[l]
+			liveParent[parent] = true
+			children[parent]++
+		}
+		want := -1
+		for _, n := range children {
+			if want == -1 {
+				want = n
+			} else if n != want {
+				return Hierarchy{}, false
+			}
+		}
+		newAr[l] = want
+		liveChild = liveParent
+	}
+	levels := make([]Level, 0, depth)
+	for l, a := range newAr {
+		if a > 1 {
+			levels = append(levels, Level{Name: d.base.Level(l).Name, Arity: a})
+		}
+	}
+	if len(levels) < 1 {
+		// Every level collapsed to a single live child: one lone survivor.
+		return Hierarchy{}, false
+	}
+	h, err := NewNamed(levels...)
+	if err != nil {
+		return Hierarchy{}, false
+	}
+	return h, true
+}
+
+// String renders the degraded hierarchy as the base with the failure count,
+// e.g. "⟦2, 2, 4⟧-3" for three failed cores.
+func (d Degraded) String() string {
+	if d.n == len(d.alive) {
+		return d.base.String()
+	}
+	var b strings.Builder
+	b.WriteString(d.base.String())
+	b.WriteString("-")
+	b.WriteString(strconv.Itoa(len(d.alive) - d.n))
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestDegradeBasics(t *testing.T) {
+	h := MustNew(2, 2, 4)        // node/socket/core, 16 cores
+	d, err := h.Degrade(3, 7, 3) // duplicate failure is idempotent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NumAlive(); got != 14 {
+		t.Fatalf("NumAlive = %d, want 14", got)
+	}
+	if got := d.NumFailed(); got != 2 {
+		t.Fatalf("NumFailed = %d, want 2", got)
+	}
+	if d.Alive(3) || d.Alive(7) || !d.Alive(0) || d.Alive(16) || d.Alive(-1) {
+		t.Fatal("Alive mask wrong")
+	}
+	if got := d.FailedCores(); !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("FailedCores = %v", got)
+	}
+	alive := d.AliveCores()
+	if len(alive) != 14 || alive[0] != 0 || alive[3] != 4 {
+		t.Fatalf("AliveCores = %v", alive)
+	}
+	if got := d.String(); got != h.String()+"-2" {
+		t.Fatalf("String = %q", got)
+	}
+	if _, err := h.Degrade(16); !errors.Is(err, ErrBadLevel) {
+		t.Fatalf("out-of-range core error = %v", err)
+	}
+}
+
+func TestDegradeDomainSurvivors(t *testing.T) {
+	h := MustNew(2, 2, 4)
+	d, err := h.Degrade(0, 1, 2, 3, 9) // socket 0 of node 0 wiped, one core on node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := d.DomainSurvivors(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{4, 7}; !reflect.DeepEqual(nodes, want) {
+		t.Fatalf("per-node survivors = %v, want %v", nodes, want)
+	}
+	sockets, err := d.DomainSurvivors(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 4, 3, 4}; !reflect.DeepEqual(sockets, want) {
+		t.Fatalf("per-socket survivors = %v, want %v", sockets, want)
+	}
+	cores, err := d.DomainSurvivors(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cores) != 16 || cores[0] != 0 || cores[4] != 1 || cores[9] != 0 {
+		t.Fatalf("per-core aliveness = %v", cores)
+	}
+	if _, err := d.DomainSurvivors(3); !errors.Is(err, ErrBadLevel) {
+		t.Fatalf("bad level error = %v", err)
+	}
+}
+
+func TestDegradeUniform(t *testing.T) {
+	h := MustNew(2, 2, 4)
+
+	// No failures: the base comes back.
+	d, _ := h.Degrade()
+	if u, ok := d.Uniform(); !ok || u.String() != h.String() {
+		t.Fatalf("undamaged Uniform = %v, %v", u, ok)
+	}
+
+	// Socket 0 lost on both nodes: survivors are a regular 2-node x 4-core
+	// machine; the collapsed socket level disappears.
+	d, _ = h.Degrade(0, 1, 2, 3, 8, 9, 10, 11)
+	u, ok := d.Uniform()
+	if !ok {
+		t.Fatal("symmetric socket loss should stay uniform")
+	}
+	if got := u.Arities(); !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Fatalf("uniform arities = %v, want [2 4]", got)
+	}
+	if u.Levels()[0].Name != h.Levels()[0].Name {
+		t.Fatalf("uniform level names lost: %v", u.Levels())
+	}
+
+	// Two cores lost in every socket: ⟦2,2,2⟧.
+	d, _ = h.Degrade(0, 1, 4, 5, 8, 9, 12, 13)
+	if u, ok := d.Uniform(); !ok || !reflect.DeepEqual(u.Arities(), []int{2, 2, 2}) {
+		t.Fatalf("uniform = %v, %v; want [2 2 2]", u, ok)
+	}
+
+	// A single lost core breaks regularity.
+	d, _ = h.Degrade(5)
+	if _, ok := d.Uniform(); ok {
+		t.Fatal("asymmetric loss reported uniform")
+	}
+
+	// Everything lost.
+	all := make([]int, 16)
+	for i := range all {
+		all[i] = i
+	}
+	d, _ = h.Degrade(all...)
+	if _, ok := d.Uniform(); ok {
+		t.Fatal("empty machine reported uniform")
+	}
+}
