@@ -15,24 +15,32 @@ test:
 race:
 	$(GO) test -race ./internal/mapd/... ./internal/sim/... ./internal/fault/... ./internal/mpi/...
 
-# check is the tier-1 gate: formatting, vet, build (including the serving
-# commands), the full test suite under the race detector, and a fault
-# injection smoke run of the benchmark driver.
+# check is the tier-1 gate: formatting, vet, staticcheck (when installed),
+# build (including the serving commands), the full test suite under the
+# race detector, and a fault injection smoke run of the benchmark driver.
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 	$(GO) build ./...
 	$(GO) build ./cmd/mrserved ./cmd/mrload
 	$(GO) test -race ./...
 	$(GO) run ./cmd/mrbench -fig 3 -maxsize 16KB -iters 1 \
 		-faults "straggle:rank=3,factor=4;link:level=1,degrade=0.8" > /dev/null
 
-# bench regenerates the headline benchmark numbers as a JSON stream.
+# bench regenerates the headline benchmark numbers as a JSON stream, plus
+# the order-search fast-path comparison (full vs. equivalence-class pruned
+# ranking of the 720 depth-6 orders) as BENCH_order_search.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_1.json
+	$(GO) test -run '^$$' -bench 'OrderSearch|Characterize' -benchmem -json . ./internal/metrics > BENCH_order_search.json
 
 clean:
 	rm -f BENCH_1.json

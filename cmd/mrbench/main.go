@@ -9,18 +9,22 @@
 //	mrbench -fig 3                  # one figure at paper scale
 //	mrbench -fig 0 -maxsize 8MB     # all figures, truncated size sweep
 //	mrbench -legend                 # only print the legend metrics
+//	mrbench -classes                # order-search equivalence-class stats
 //	mrbench -fig 3 -maxsize 1MB -faults "straggle:rank=3,factor=4"
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/advisor"
 	"repro/internal/bench"
 	"repro/internal/fault"
 	"repro/internal/figures"
@@ -33,6 +37,7 @@ func main() {
 	maxSize := flag.String("maxsize", "512MB", "largest total data size of the sweep")
 	iters := flag.Int("iters", 2, "timed iterations per measurement")
 	legend := flag.Bool("legend", false, "print only the figure-legend metrics")
+	classes := flag.Bool("classes", false, "print the §3.3 equivalence-class statistics of the advisor's pruned order search for each figure scenario")
 	csvDir := flag.String("csv", "", "also write figureN.csv files into this directory")
 	studyFlag := flag.Bool("study", false, "run the order study (all 24 orders of Figure 3's setup, metric↔bandwidth correlations)")
 	studySize := flag.String("studysize", "16MB", "total collective size for -study")
@@ -79,6 +84,13 @@ func main() {
 
 	if *legend {
 		fmt.Print(figures.LegendCharacterizations())
+		return
+	}
+	if *classes {
+		if err := printSearchClasses(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mrbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *studyFlag {
@@ -185,4 +197,41 @@ func parseSize(s string) (int64, error) {
 		return 0, fmt.Errorf("bad size %q", s)
 	}
 	return v * mult, nil
+}
+
+// printSearchClasses runs the advisor's pruned order search once per
+// figure scenario (one communicator and all communicators) and reports
+// how far the §3.3 equivalence classes collapse the k! candidates, read
+// back from the advisor_class_* counters the search records.
+func printSearchClasses(w io.Writer) error {
+	figs := []figures.MicroBench{
+		figures.Figure3(nil), figures.Figure4(nil), figures.Figure5(nil),
+		figures.Figure6(nil), figures.Figure7(nil),
+	}
+	for _, mb := range figs {
+		for _, sim := range []bool{false, true} {
+			reg := obs.NewRegistry()
+			sc := advisor.Scenario{
+				Spec:         mb.Config.Spec,
+				Hierarchy:    mb.Config.Hierarchy,
+				Coll:         advisor.Collective(mb.Config.Coll),
+				CommSize:     mb.Config.CommSize,
+				Simultaneous: sim,
+				Bytes:        4 << 20,
+			}
+			if _, err := advisor.Rank(context.Background(), sc, nil, advisor.RankOptions{Registry: reg}); err != nil {
+				return fmt.Errorf("%s: %w", mb.Name, err)
+			}
+			nClasses := int(reg.FindCounter("advisor_class_misses_total"))
+			total := nClasses + int(reg.FindCounter("advisor_class_hits_total"))
+			mode := "one comm "
+			if sim {
+				mode = "all comms"
+			}
+			fmt.Fprintf(w, "%s %s (%s, comm %d): %d orders -> %d classes (%.0f%% pruned)\n",
+				mb.Name, mode, mb.Config.Coll, mb.Config.CommSize, total, nClasses,
+				100*float64(total-nClasses)/float64(total))
+		}
+	}
+	return nil
 }

@@ -71,7 +71,11 @@ func Predict(sc Scenario, sigma []int) (Prediction, error) {
 	if err != nil {
 		return Prediction{}, err
 	}
-	inv := ro.InverseTable()
+	// The inverse table is pure scratch here: pool it so a k!-order search
+	// does not allocate k! n-entry tables.
+	inv := invPool.Get(n)
+	defer invPool.Put(inv)
+	ro.InverseTableInto(inv)
 	nComms := n / p
 	if !sc.Simultaneous {
 		nComms = 1
@@ -194,6 +198,10 @@ func Predict(sc Scenario, sigma []int) (Prediction, error) {
 		BottleneckLevel: level,
 	}, nil
 }
+
+// invPool recycles inverse-table scratch across Predict calls (shared by
+// all advisor workers; TablePool is safe for concurrent use).
+var invPool mixedradix.TablePool
 
 // perRankBytes is the volume one rank pushes through its memory domain.
 func perRankBytes(coll Collective, p int, B float64) float64 {

@@ -1,7 +1,11 @@
-// Chunked, cancellable order ranking: the k! candidate orders are split
-// into fixed-size chunks and evaluated by a bounded worker pool, so a
-// long-lived service can rank orders for many clients concurrently and
-// abandon evaluations whose request has gone away.
+// Chunked, cancellable order ranking with §3.3 equivalence-class pruning:
+// candidate orders are first grouped by their integer placement signature
+// (metrics.OrderSignature, O(k²) per order), the expensive analytic
+// Predict runs once per class representative on a bounded worker pool,
+// and the result fans out to every member of the class. Orders in the
+// same class place the communicator identically, so they receive the same
+// prediction; the lexicographic tie-break keeps the final ranking exactly
+// equal to evaluating every order (proven by differential test).
 
 package advisor
 
@@ -10,7 +14,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -22,6 +29,15 @@ type RankOptions struct {
 	// that gives each worker several chunks (for cancellation latency and
 	// load balance).
 	Chunk int
+	// NoPrune disables the equivalence-class fast path and evaluates every
+	// order. The ranking is identical either way; the flag exists for
+	// benchmarks and differential tests.
+	NoPrune bool
+	// Registry, when non-nil, receives search observability: the
+	// advisor_class_hits_total / advisor_class_misses_total counters (orders
+	// served from a class representative vs. representatives evaluated) and
+	// the advisor_search_seconds latency histogram.
+	Registry *obs.Registry
 }
 
 func (o RankOptions) workers(n int) int {
@@ -56,7 +72,13 @@ func (o RankOptions) chunk(n, workers int) int {
 // first. Equal-bandwidth orders sort by lexicographic order permutation, so
 // the ranking is deterministic across runs and safe to cache. Rank stops
 // early and returns ctx.Err() when the context is cancelled.
+//
+// Unless opts.NoPrune is set, Rank prunes the search by §3.3 equivalence
+// class: orders whose placement signature matches an already-grouped order
+// share one Predict evaluation. On symmetric hierarchies this collapses
+// the k! candidates to a handful of classes.
 func Rank(ctx context.Context, sc Scenario, orders [][]int, opts RankOptions) ([]Prediction, error) {
+	start := time.Now()
 	if orders == nil {
 		orders = perm.All(sc.Hierarchy.Depth())
 	}
@@ -64,10 +86,91 @@ func Rank(ctx context.Context, sc Scenario, orders [][]int, opts RankOptions) ([
 	if n == 0 {
 		return nil, nil
 	}
+
+	// groups[g] lists the indices of orders sharing one signature; the
+	// first member is the class representative. A nil grouping (pruning
+	// disabled, or a signature error to be re-reported by Predict) makes
+	// every order its own class.
+	var groups [][]int
+	if !opts.NoPrune && n > 1 {
+		groups = classGroups(sc, orders)
+	}
+	if groups == nil {
+		groups = make([][]int, n)
+		for i := range groups {
+			groups[i] = []int{i}
+		}
+	}
+
+	reps := make([]Prediction, len(groups))
+	if err := evalRepresentatives(ctx, sc, orders, groups, reps, opts); err != nil {
+		return nil, err
+	}
+
+	out := make([]Prediction, n)
+	for g, members := range groups {
+		pr := reps[g]
+		for _, idx := range members {
+			out[idx] = Prediction{
+				Order:           append([]int(nil), orders[idx]...),
+				Time:            pr.Time,
+				Bandwidth:       pr.Bandwidth,
+				BottleneckLevel: pr.BottleneckLevel,
+			}
+		}
+	}
+	if opts.Registry != nil {
+		opts.Registry.Counter("advisor_class_misses_total").AddInt(int64(len(groups)))
+		opts.Registry.Counter("advisor_class_hits_total").AddInt(int64(n - len(groups)))
+		opts.Registry.Histogram("advisor_search_seconds", obs.SearchBuckets()).
+			Observe(time.Since(start).Seconds())
+	}
+	sortPredictions(out)
+	return out, nil
+}
+
+// classGroups partitions the order indices into §3.3 equivalence classes
+// by integer placement signature, preserving first-appearance order. It
+// returns nil when any signature fails to compute, so Rank falls back to
+// the unpruned path and Predict reports the underlying problem.
+func classGroups(sc Scenario, orders [][]int) [][]int {
+	// The signature only needs the components the model actually reads:
+	// alltoall traffic depends on domain occupancy alone, so the ring
+	// traversal is dropped and occupancy-equivalent orders merge. The
+	// world tiling is required whenever every subcommunicator runs at
+	// once — even for alltoall, because distinct tilings aggregate
+	// different per-domain traffic (the exhaustive differential test
+	// catches the collision if this is weakened).
+	sigOpts := metrics.SignatureOpts{
+		Ring:  sc.Coll != Alltoall,
+		World: sc.Simultaneous,
+	}
+	byKey := make(map[string]int, len(orders))
+	var groups [][]int
+	for i, sigma := range orders {
+		sig, err := metrics.OrderSignature(sc.Hierarchy, sigma, sc.CommSize, sigOpts)
+		if err != nil {
+			return nil
+		}
+		key := sig.Key()
+		g, ok := byKey[key]
+		if !ok {
+			byKey[key] = len(groups)
+			groups = append(groups, []int{i})
+			continue
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}
+
+// evalRepresentatives runs Predict for each class representative on the
+// bounded worker pool, writing into reps.
+func evalRepresentatives(ctx context.Context, sc Scenario, orders [][]int, groups [][]int, reps []Prediction, opts RankOptions) error {
+	n := len(groups)
 	workers := opts.workers(n)
 	chunk := opts.chunk(n, workers)
 
-	out := make([]Prediction, n)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -87,16 +190,16 @@ func Rank(ctx context.Context, sc Scenario, orders [][]int, opts RankOptions) ([
 		go func() {
 			defer wg.Done()
 			for u := range units {
-				for i := u.lo; i < u.hi; i++ {
+				for g := u.lo; g < u.hi; g++ {
 					if ctx.Err() != nil {
 						return
 					}
-					pr, err := Predict(sc, orders[i])
+					pr, err := Predict(sc, orders[groups[g][0]])
 					if err != nil {
 						fail(err)
 						return
 					}
-					out[i] = pr
+					reps[g] = pr
 				}
 			}
 		}()
@@ -116,13 +219,9 @@ feed:
 	close(units)
 	wg.Wait()
 	if firstEr != nil {
-		return nil, firstEr
+		return firstEr
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	sortPredictions(out)
-	return out, nil
+	return ctx.Err()
 }
 
 // sortPredictions orders predictions by bandwidth (best first), breaking

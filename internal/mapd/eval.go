@@ -95,8 +95,10 @@ func evalAdvise(ctx context.Context, q *parsedAdvise, opts advisor.RankOptions) 
 // evalAdviseFallback is the degraded-mode answer served while the advisor
 // circuit breaker is open: instead of the k! bottleneck-model search it
 // ranks all orders by the §3.3 ring cost of their enumeration — a pure
-// integer computation that cannot time out. The response is flagged
-// Degraded and never cached.
+// integer computation that cannot time out. The closed-form kernel makes
+// each order O(k), so the whole fallback costs O(k·k!) instead of the
+// O(n·k!) table walk it used to do. The response is flagged Degraded and
+// never cached.
 func evalAdviseFallback(q *parsedAdvise) (*AdviseResponse, error) {
 	sc := q.scenario()
 	h := sc.Hierarchy
@@ -107,16 +109,11 @@ func evalAdviseFallback(q *parsedAdvise) (*AdviseResponse, error) {
 	orders := perm.All(h.Depth())
 	cands := make([]cand, 0, len(orders))
 	for _, sigma := range orders {
-		ro, err := mixedradix.NewReorderer(h.Arities(), sigma)
+		ch, err := metrics.Characterize(h, sigma, h.Size())
 		if err != nil {
 			return nil, badf("%v", err)
 		}
-		inv := ro.InverseTable()
-		cost := 0
-		for i := 0; i+1 < len(inv); i++ {
-			cost += h.CrossCost(inv[i], inv[i+1])
-		}
-		cands = append(cands, cand{sigma: sigma, cost: cost})
+		cands = append(cands, cand{sigma: sigma, cost: ch.RingCost})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].cost != cands[j].cost {

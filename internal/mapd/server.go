@@ -175,7 +175,7 @@ func (s *Server) Handler() http.Handler {
 				s.AdviseHook()
 			}
 			s.evals.Add(1)
-			resp, err := evalAdvise(ctx, q, advisor.RankOptions{Workers: s.cfg.AdviseWorkers})
+			resp, err := evalAdvise(ctx, q, advisor.RankOptions{Workers: s.cfg.AdviseWorkers, Registry: s.reg})
 			if s.breaker != nil {
 				// Client errors say nothing about the service's health.
 				s.breaker.Record(err == nil || errors.Is(err, ErrBadRequest))

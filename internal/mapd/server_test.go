@@ -374,6 +374,44 @@ func TestMetricsAndHealthEndpoints(t *testing.T) {
 	}
 }
 
+// An advise evaluation must surface the order-search observability — the
+// equivalence-class hit/miss counters and the search latency histogram —
+// on the Prometheus endpoint.
+func TestAdviseSearchMetricsExposed(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{Registry: reg})
+	req := `{"machine":"hydra","nodes":4,"collective":"alltoall","comm_size":16}`
+	if code, body := post(t, ts, "/v1/advise", req); code != http.StatusOK {
+		t.Fatalf("advise status %d, body %s", code, body)
+	}
+
+	hits := reg.FindCounter("advisor_class_hits_total")
+	misses := reg.FindCounter("advisor_class_misses_total")
+	if hits+misses != 24 {
+		t.Errorf("class hits %v + misses %v, want 4! = 24 candidates", hits, misses)
+	}
+	if hits == 0 {
+		t.Errorf("expected class hits on hydra's symmetric hierarchy, got 0")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"# TYPE advisor_class_hits_total counter",
+		"# TYPE advisor_class_misses_total counter",
+		"# TYPE advisor_search_seconds histogram",
+		"advisor_search_seconds_count 1",
+	} {
+		if !bytes.Contains(b, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
 // An evaluation that overruns the configured budget produces a structured
 // 504, not a hung connection.
 func TestEvaluationTimeout(t *testing.T) {

@@ -1,0 +1,218 @@
+// Closed-form §3.3 kernels: ring cost and pairs-per-level computed
+// directly from the arities and σ, without materializing the reorder
+// table or running the O(n²) pair loop.
+//
+// Both kernels exploit the structure of the first subcommunicator, which
+// occupies the reordered ranks [0, m). In the permuted mixed-radix system
+// (position 0 = level σ(0), the fastest-varying), stepping from reordered
+// rank r to r+1 changes exactly the digits touched by the carry chain:
+// positions 0…t wrap or increment, where t is the first position whose
+// digit is below its radix. The hierarchy level at which the two cores
+// first differ is therefore min(σ(0), …, σ(t)), and counting ranks by
+// carry-chain length is a matter of divisibility — floor((m-1)/P_t)
+// ranks carry through the first t positions, where P_t is the product of
+// the first t permuted radices. That turns the ring cost into an O(k)
+// sum.
+//
+// Pair counts per level reduce to counting rank pairs that agree on a
+// subset Q of permuted digit positions: pairs crossing no deeper than
+// level l are exactly those agreeing on every position j with σ(j) < l.
+// The number of ordered pairs (r, s) ∈ [0, m)² agreeing on Q is computed
+// by a digit DP over the permuted system that tracks whether r and s are
+// still clamped to the digits of m-1, giving O(k) per level and O(k²)
+// overall — independent of the hierarchy size.
+//
+// The table-based path (CharacterizeTable, FirstComm + RingCost +
+// PairsPerLevel) remains the reference implementation: differential
+// tests prove the two agree on randomized hierarchies, and degraded or
+// masked placements — which are not a clean mixed-radix space — must
+// still use the tables.
+
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/mixedradix"
+	"repro/internal/topology"
+)
+
+// crossingsPerLevel returns, for each hierarchy level l (outermost = 0),
+// how many consecutive reordered-rank pairs (r, r+1) with r ∈ [0, m-1)
+// first differ at level l. The ring cost follows as
+// Σ_l counts[l] · (k - l).
+func crossingsPerLevel(ar, sigma []int, m int) []int64 {
+	k := len(ar)
+	out := make([]int64, k)
+	if m <= 1 {
+		return out
+	}
+	minLevel := k
+	pref := 1               // P_t: product of the first t permuted radices
+	carries := int64(m - 1) // ranks whose carry chain reaches position t
+	for t := 0; t < k && carries > 0; t++ {
+		if sigma[t] < minLevel {
+			minLevel = sigma[t]
+		}
+		pref *= ar[sigma[t]]
+		next := int64((m - 1) / pref)
+		out[minLevel] += carries - next
+		carries = next
+	}
+	return out
+}
+
+// ringCostClosed is the closed-form §3.3 ring cost of the first
+// subcommunicator of size m.
+func ringCostClosed(ar, sigma []int, m int) int {
+	k := len(ar)
+	cost := int64(0)
+	for l, c := range crossingsPerLevel(ar, sigma, m) {
+		cost += c * int64(k-l)
+	}
+	return int(cost)
+}
+
+// pairCountsPerLevel returns, indexed like PairsPerLevel (element 0 the
+// innermost level), the number of unordered process pairs of the first
+// subcommunicator of size m whose first differing coordinate is at each
+// level. The counts sum to m·(m-1)/2.
+func pairCountsPerLevel(ar, sigma []int, m int) []int64 {
+	k := len(ar)
+	// Permuted radices and the digits of the inclusive bound m-1.
+	b := make([]int64, k)
+	g := make([]int64, k)
+	rem := m - 1
+	for j := 0; j < k; j++ {
+		b[j] = int64(ar[sigma[j]])
+		g[j] = int64(rem) % b[j]
+		rem /= int(b[j])
+	}
+	// E[l] = unordered pairs of distinct ranks in [0, m) agreeing on every
+	// permuted position j with σ(j) < l. E[0] = C(m, 2); E[k] = 0.
+	E := make([]int64, k+1)
+	for l := 0; l <= k; l++ {
+		E[l] = (agreeingOrderedPairs(b, g, sigma, l) - int64(m)) / 2
+	}
+	out := make([]int64, k)
+	for j := 0; j < k; j++ {
+		l := k - 1 - j // first-diff level for output index j
+		out[j] = E[l] - E[l+1]
+	}
+	return out
+}
+
+// agreeingOrderedPairs counts the ordered pairs (r, s) ∈ [0, m)² whose
+// permuted digits match at every position j with σ(j) < level, via a
+// most-significant-first digit DP against the inclusive bound m-1 (digits
+// g, radices b). State: both prefixes clamped to the bound (tt), exactly
+// one clamped (tf, counted one-sided — the transposed states mirror it),
+// neither (ff).
+func agreeingOrderedPairs(b, g []int64, sigma []int, level int) int64 {
+	tt, tf, ff := int64(1), int64(0), int64(0)
+	for j := len(b) - 1; j >= 0; j-- {
+		bj, gj := b[j], g[j]
+		if sigma[j] < level { // digits must match: tt, tf unchanged
+			ff = ff*bj + tt*gj + 2*tf*gj
+		} else { // digits independent: tt unchanged
+			tf, ff = tt*gj+tf*bj, tt*gj*gj+2*tf*gj*bj+ff*bj*bj
+		}
+	}
+	return tt + 2*tf + ff
+}
+
+// SearchSignature is the integer-exact placement fingerprint the order
+// search prunes with: two orders with equal signatures place the first
+// subcommunicator identically level by level (same §3.3 ring cost and
+// pair percentages, resolved per level rather than aggregated) and, when
+// the optional components are included, share the ring traversal and the
+// whole-world tiling too. It is computed in O(k²) from the arities alone.
+type SearchSignature struct {
+	// CommPairs[j] counts the communicator's process pairs first differing
+	// j levels above the innermost (the integer numerators of
+	// PairsPerLevel). Always present: it pins down the per-level domain
+	// occupancy profile of the communicator.
+	CommPairs []int64
+	// CommCross[l] counts consecutive-rank boundary crossings of the first
+	// subcommunicator at hierarchy level l (outermost first). The ring
+	// cost is Σ_l CommCross[l]·(k-l). Only ring-schedule collectives
+	// (allgather, allreduce) depend on the traversal, so the component is
+	// optional (SignatureOpts.Ring); dropping it merges orders whose
+	// communicators occupy the same domains in a different ring order.
+	CommCross []int64
+	// WorldCross[l] is CommCross for the whole world enumeration,
+	// capturing how the full rank sequence — hence every subcommunicator
+	// block — tiles the hierarchy (SignatureOpts.World).
+	WorldCross []int64
+}
+
+// SignatureOpts selects the optional SearchSignature components. The
+// zero value — pair counts only — is the coarsest (fastest) signature;
+// each enabled component refines the classes, never coarsens them.
+type SignatureOpts struct {
+	// Ring includes the communicator's per-level crossing counts. Needed
+	// when the predicted schedule walks the communicator as a ring
+	// (allgather, allreduce); irrelevant for pairwise exchanges whose
+	// traffic depends only on domain occupancy (alltoall).
+	Ring bool
+	// World includes the whole-world crossing profile. Needed when every
+	// subcommunicator runs simultaneously and the signature must pin down
+	// the full tiling, not just the first block.
+	World bool
+}
+
+// Key renders the signature as a compact map key.
+func (s SearchSignature) Key() string {
+	buf := make([]byte, 0, 16*(len(s.CommCross)+len(s.CommPairs)+len(s.WorldCross)))
+	for _, part := range [][]int64{s.CommPairs, s.CommCross, s.WorldCross} {
+		for _, v := range part {
+			buf = strconv.AppendInt(buf, v, 36)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '|')
+	}
+	return string(buf)
+}
+
+// OrderSignature computes the SearchSignature of an order for the first
+// subcommunicator of size commSize, with the optional components selected
+// by opts.
+func OrderSignature(h topology.Hierarchy, sigma []int, commSize int, opts SignatureOpts) (SearchSignature, error) {
+	ar := h.Arities()
+	if err := mixedradix.CheckOrder(ar, sigma); err != nil {
+		return SearchSignature{}, err
+	}
+	n := h.Size()
+	if commSize <= 0 || commSize > n {
+		return SearchSignature{}, fmt.Errorf("metrics: communicator size %d out of range (0, %d]", commSize, n)
+	}
+	sig := SearchSignature{
+		CommPairs: pairCountsPerLevel(ar, sigma, commSize),
+	}
+	if opts.Ring {
+		sig.CommCross = crossingsPerLevel(ar, sigma, commSize)
+	}
+	if opts.World {
+		sig.WorldCross = crossingsPerLevel(ar, sigma, n)
+	}
+	return sig, nil
+}
+
+// CharacterizeTable computes Characterize through the reference path: it
+// materializes the placement with the reorder table and runs the O(n²)
+// pair loop. It exists as the differential-test oracle and for callers
+// whose placements are not a clean mixed-radix space (degraded or masked
+// hierarchies must take this route); everything else should call
+// Characterize, which uses the closed-form kernels.
+func CharacterizeTable(h topology.Hierarchy, sigma []int, commSize int) (Characterization, error) {
+	p, err := FirstComm(h, sigma, commSize)
+	if err != nil {
+		return Characterization{}, err
+	}
+	return Characterization{
+		Order:    append([]int(nil), sigma...),
+		RingCost: RingCost(p),
+		Pairs:    PairsPerLevel(p),
+	}, nil
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+// TestFastPathDifferential proves the closed-form kernels equal the
+// table-based reference on well over 1000 randomized (hierarchy, σ,
+// commSize) cases, including non-dividing communicator sizes, commSize 1
+// and commSize = world.
+func TestFastPathDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := 0
+	for iter := 0; iter < 400; iter++ {
+		depth := 2 + rng.Intn(5) // 2..6
+		ar := make([]int, depth)
+		for i := range ar {
+			ar[i] = 2 + rng.Intn(3) // 2..4
+		}
+		h, err := topology.New(ar...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := h.Size()
+		for trial := 0; trial < 4; trial++ {
+			sigma := rng.Perm(depth)
+			commSize := 1 + rng.Intn(n)
+			switch trial {
+			case 2:
+				commSize = 1
+			case 3:
+				commSize = n
+			}
+			fast, err := Characterize(h, sigma, commSize)
+			if err != nil {
+				t.Fatalf("fast Characterize(%v, %v, %d): %v", ar, sigma, commSize, err)
+			}
+			table, err := CharacterizeTable(h, sigma, commSize)
+			if err != nil {
+				t.Fatalf("table Characterize(%v, %v, %d): %v", ar, sigma, commSize, err)
+			}
+			if fast.RingCost != table.RingCost {
+				t.Fatalf("ring cost mismatch for h=%v sigma=%v m=%d: fast %d, table %d",
+					ar, sigma, commSize, fast.RingCost, table.RingCost)
+			}
+			if len(fast.Pairs) != len(table.Pairs) {
+				t.Fatalf("pairs length mismatch for h=%v sigma=%v m=%d", ar, sigma, commSize)
+			}
+			for j := range fast.Pairs {
+				if math.Abs(fast.Pairs[j]-table.Pairs[j]) > 1e-9 {
+					t.Fatalf("pairs[%d] mismatch for h=%v sigma=%v m=%d: fast %v, table %v",
+						j, ar, sigma, commSize, fast.Pairs, table.Pairs)
+				}
+			}
+			cases++
+		}
+	}
+	if cases < 1000 {
+		t.Fatalf("only %d differential cases, want >= 1000", cases)
+	}
+}
+
+// TestFastPathAllOrdersSmall sweeps every order of a few fixed
+// hierarchies so the kernels are exercised on the exact inputs of the
+// paper's figures, not just random draws.
+func TestFastPathAllOrdersSmall(t *testing.T) {
+	for _, tc := range []struct {
+		ar   []int
+		comm int
+	}{
+		{[]int{2, 2, 4}, 4},
+		{[]int{2, 2, 4}, 3}, // non-dividing size
+		{[]int{16, 2, 2, 8}, 16},
+		{[]int{3, 2, 2}, 6},
+	} {
+		h := topology.MustNew(tc.ar...)
+		for _, sigma := range perm.All(len(tc.ar)) {
+			fast, err := Characterize(h, sigma, tc.comm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			table, err := CharacterizeTable(h, sigma, tc.comm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.RingCost != table.RingCost {
+				t.Errorf("h=%v sigma=%v: ring cost fast %d table %d", tc.ar, sigma, fast.RingCost, table.RingCost)
+			}
+			for j := range fast.Pairs {
+				if math.Abs(fast.Pairs[j]-table.Pairs[j]) > 1e-9 {
+					t.Errorf("h=%v sigma=%v: pairs fast %v table %v", tc.ar, sigma, fast.Pairs, table.Pairs)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestOrderSignatureRefinesClasses checks the pruning signature is sound
+// with respect to §3.3: orders with equal signatures always land in the
+// same (ring cost, pair percentages) equivalence class.
+func TestOrderSignatureRefinesClasses(t *testing.T) {
+	h := topology.MustNew(2, 2, 2, 2)
+	orders := perm.All(4)
+	byKey := map[string][]int{}
+	for i, sigma := range orders {
+		sig, err := OrderSignature(h, sigma, 4, SignatureOpts{Ring: true, World: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byKey[sig.Key()] = append(byKey[sig.Key()], i)
+	}
+	if len(byKey) >= len(orders) {
+		t.Fatalf("signature produced no grouping: %d keys for %d orders", len(byKey), len(orders))
+	}
+	for _, members := range byKey {
+		first, err := Characterize(h, orders[members[0]], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range members[1:] {
+			ch, err := Characterize(h, orders[m], 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ch.RingCost != first.RingCost || !ch.SamePairs(first) {
+				t.Fatalf("orders %v and %v share a signature but differ in class",
+					orders[members[0]], orders[m])
+			}
+		}
+	}
+}
+
+// TestOrderSignatureErrors mirrors Characterize's validation.
+func TestOrderSignatureErrors(t *testing.T) {
+	h := topology.MustNew(2, 2, 4)
+	if _, err := OrderSignature(h, []int{0, 1}, 4, SignatureOpts{}); err == nil {
+		t.Fatal("want error for wrong-length order")
+	}
+	if _, err := OrderSignature(h, []int{0, 1, 2}, 0, SignatureOpts{}); err == nil {
+		t.Fatal("want error for zero communicator size")
+	}
+	if _, err := OrderSignature(h, []int{0, 1, 2}, 17, SignatureOpts{}); err == nil {
+		t.Fatal("want error for oversized communicator")
+	}
+}
+
+func BenchmarkCharacterizeFast(b *testing.B) {
+	h := topology.MustNew(16, 2, 4, 2, 8)
+	sigma := []int{3, 2, 1, 4, 0}
+	for i := 0; i < b.N; i++ {
+		if _, err := Characterize(h, sigma, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCharacterizeTable(b *testing.B) {
+	h := topology.MustNew(16, 2, 4, 2, 8)
+	sigma := []int{3, 2, 1, 4, 0}
+	for i := 0; i < b.N; i++ {
+		if _, err := CharacterizeTable(h, sigma, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

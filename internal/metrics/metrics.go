@@ -110,16 +110,32 @@ type Characterization struct {
 }
 
 // Characterize computes the legend entry of an order for the first
-// subcommunicator of the given size.
+// subcommunicator of the given size. It uses the closed-form kernels of
+// fastpath.go — O(k²) in the hierarchy depth, no reorder table — and is
+// proven equal to the table-based reference (CharacterizeTable) by
+// differential test.
 func Characterize(h topology.Hierarchy, sigma []int, commSize int) (Characterization, error) {
-	p, err := FirstComm(h, sigma, commSize)
-	if err != nil {
+	ar := h.Arities()
+	if err := mixedradix.CheckOrder(ar, sigma); err != nil {
 		return Characterization{}, err
+	}
+	n := h.Size()
+	if commSize <= 0 || commSize > n {
+		return Characterization{}, fmt.Errorf("metrics: communicator size %d out of range (0, %d]", commSize, n)
+	}
+	k := len(ar)
+	ring := ringCostClosed(ar, sigma, commSize)
+	counts := pairCountsPerLevel(ar, sigma, commSize)
+	pairs := make([]float64, k)
+	if total := int64(commSize) * int64(commSize-1) / 2; total > 0 {
+		for j := range pairs {
+			pairs[j] = 100 * float64(counts[j]) / float64(total)
+		}
 	}
 	return Characterization{
 		Order:    append([]int(nil), sigma...),
-		RingCost: RingCost(p),
-		Pairs:    PairsPerLevel(p),
+		RingCost: ring,
+		Pairs:    pairs,
 	}, nil
 }
 

@@ -20,6 +20,7 @@ package mixedradix
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/perm"
 )
@@ -46,11 +47,16 @@ func CheckHierarchy(h []int) error {
 }
 
 // Size returns the number of ranks the hierarchy enumerates: the product of
-// all level sizes. It panics on overflow.
+// all level sizes. It panics on overflow and on a non-positive radix (a
+// zero radix would otherwise propagate a silent 0 into divide-by-zero
+// panics downstream); use CheckHierarchy for an error-returning validation.
 func Size(h []int) int {
 	n := 1
-	for _, v := range h {
-		if v != 0 && n > int(^uint(0)>>1)/v {
+	for i, v := range h {
+		if v <= 0 {
+			panic(fmt.Sprintf("mixedradix: invalid hierarchy: level %d has non-positive size %d", i, v))
+		}
+		if n > int(^uint(0)>>1)/v {
 			panic("mixedradix: hierarchy size overflows int")
 		}
 		n *= v
@@ -69,17 +75,28 @@ func Decompose(h []int, r int) []int {
 }
 
 // DecomposeInto is Decompose writing into a caller-provided slice of
-// length len(h), avoiding an allocation in hot loops.
+// length len(h), avoiding an allocation in hot loops. Unlike earlier
+// versions it does not recompute Size(h) on every call: the digits are
+// extracted first and any rank outside [0, Size(h)) is detected from the
+// non-zero quotient that remains.
 func DecomposeInto(h []int, r int, c []int) {
 	if len(c) != len(h) {
 		panic("mixedradix: DecomposeInto destination length mismatch")
 	}
-	if r < 0 || r >= Size(h) {
+	if r < 0 {
 		panic(fmt.Sprintf("mixedradix: rank %d out of range [0, %d)", r, Size(h)))
 	}
+	rank := r
 	for i := len(h) - 1; i >= 0; i-- {
-		c[i] = r % h[i]
-		r /= h[i]
+		v := h[i]
+		if v <= 0 {
+			panic(fmt.Sprintf("mixedradix: invalid hierarchy: level %d has non-positive size %d", i, v))
+		}
+		c[i] = r % v
+		r /= v
+	}
+	if r != 0 {
+		panic(fmt.Sprintf("mixedradix: rank %d out of range [0, %d)", rank, Size(h)))
 	}
 }
 
@@ -123,13 +140,21 @@ func ComposeChecked(h, c, sigma []int) (int, error) {
 			return 0, fmt.Errorf("%w: coordinate %d is %d, want [0, %d)", ErrRankRange, i, v, h[i])
 		}
 	}
-	if err := perm.Check(sigma); err != nil {
+	if err := CheckOrder(h, sigma); err != nil {
 		return 0, err
 	}
-	if len(sigma) != len(h) {
-		return 0, fmt.Errorf("%w: order has %d levels, hierarchy has %d", ErrBadHierarchy, len(sigma), len(h))
-	}
 	return Compose(h, c, sigma), nil
+}
+
+// CheckOrder verifies that sigma is a usable order for hierarchy h: the
+// lengths must match (checked first, so a wrong-length order is reported
+// as such rather than as a spurious not-a-permutation error) and sigma
+// must be a permutation of [0, len(h)).
+func CheckOrder(h, sigma []int) error {
+	if len(sigma) != len(h) {
+		return fmt.Errorf("%w: order has %d levels, hierarchy has %d", ErrBadHierarchy, len(sigma), len(h))
+	}
+	return perm.Check(sigma)
 }
 
 // NewRank applies Algorithm 1 followed by Algorithm 2: the reordered rank of
@@ -142,11 +167,15 @@ func NewRank(h []int, r int, sigma []int) int {
 }
 
 // Reorderer precomputes state for repeated NewRank calls on one
-// (hierarchy, order) pair. It is not safe for concurrent use.
+// (hierarchy, order) pair: the hierarchy size and, per original level, the
+// weight its digit carries in the reordered enumeration, so NewRank runs a
+// single divide loop with no scratch slice. A Reorderer is immutable after
+// construction and safe for concurrent use.
 type Reorderer struct {
-	h     []int
-	sigma []int
-	c     []int // scratch coordinates
+	h       []int
+	sigma   []int
+	weights []int // weights[l] = Π_{j < σ⁻¹(l)} h[σ(j)], the new weight of level l's digit
+	n       int   // Size(h), hoisted
 }
 
 // NewReorderer validates its inputs and returns a Reorderer.
@@ -154,17 +183,21 @@ func NewReorderer(h, sigma []int) (*Reorderer, error) {
 	if err := CheckHierarchy(h); err != nil {
 		return nil, err
 	}
-	if err := perm.Check(sigma); err != nil {
+	if err := CheckOrder(h, sigma); err != nil {
 		return nil, err
 	}
-	if len(sigma) != len(h) {
-		return nil, fmt.Errorf("%w: order has %d levels, hierarchy has %d", ErrBadHierarchy, len(sigma), len(h))
+	ro := &Reorderer{
+		h:       append([]int(nil), h...),
+		sigma:   append([]int(nil), sigma...),
+		weights: make([]int, len(h)),
+		n:       Size(h),
 	}
-	return &Reorderer{
-		h:     append([]int(nil), h...),
-		sigma: append([]int(nil), sigma...),
-		c:     make([]int, len(h)),
-	}, nil
+	f := 1
+	for _, l := range sigma {
+		ro.weights[l] = f
+		f *= h[l]
+	}
+	return ro, nil
 }
 
 // Hierarchy returns a copy of the reorderer's hierarchy.
@@ -174,35 +207,110 @@ func (ro *Reorderer) Hierarchy() []int { return append([]int(nil), ro.h...) }
 func (ro *Reorderer) Order() []int { return append([]int(nil), ro.sigma...) }
 
 // Size returns the number of ranks enumerated.
-func (ro *Reorderer) Size() int { return Size(ro.h) }
+func (ro *Reorderer) Size() int { return ro.n }
 
-// NewRank returns the reordered rank of r.
+// NewRank returns the reordered rank of r. It allocates nothing.
 func (ro *Reorderer) NewRank(r int) int {
-	DecomposeInto(ro.h, r, ro.c)
-	return Compose(ro.h, ro.c, ro.sigma)
+	if r < 0 || r >= ro.n {
+		panic(fmt.Sprintf("mixedradix: rank %d out of range [0, %d)", r, ro.n))
+	}
+	nr := 0
+	for i := len(ro.h) - 1; i >= 0; i-- {
+		nr += (r % ro.h[i]) * ro.weights[i]
+		r /= ro.h[i]
+	}
+	return nr
 }
 
 // Table returns the full mapping t with t[old] = new for every rank. The
 // result is always a permutation of [0, Size(h)) (see TestReorderBijection).
 func (ro *Reorderer) Table() []int {
-	n := ro.Size()
-	t := make([]int, n)
-	for r := 0; r < n; r++ {
-		t[r] = ro.NewRank(r)
-	}
+	t := make([]int, ro.n)
+	ro.TableInto(t)
 	return t
+}
+
+// TableInto is Table writing into a caller-provided slice of length
+// Size(h). It walks the ranks as an odometer, so the whole table costs
+// O(n) rather than n divide loops, and allocates nothing beyond one
+// k-element odometer.
+func (ro *Reorderer) TableInto(t []int) {
+	if len(t) != ro.n {
+		panic(fmt.Sprintf("mixedradix: TableInto destination has %d entries, hierarchy enumerates %d", len(t), ro.n))
+	}
+	k := len(ro.h)
+	c := make([]int, k)
+	nr := 0
+	for r := 0; r < ro.n; r++ {
+		t[r] = nr
+		for i := k - 1; i >= 0; i-- {
+			if c[i]+1 < ro.h[i] {
+				c[i]++
+				nr += ro.weights[i]
+				break
+			}
+			nr -= c[i] * ro.weights[i]
+			c[i] = 0
+		}
+	}
 }
 
 // InverseTable returns inv with inv[new] = old: for each reordered rank,
 // the original rank (hence the original core) it is placed on. This is the
 // rankfile view of the mapping.
 func (ro *Reorderer) InverseTable() []int {
-	t := ro.Table()
-	inv := make([]int, len(t))
-	for old, nw := range t {
-		inv[nw] = old
-	}
+	inv := make([]int, ro.n)
+	ro.InverseTableInto(inv)
 	return inv
+}
+
+// InverseTableInto is InverseTable writing into a caller-provided slice of
+// length Size(h), built directly without materializing the forward table.
+func (ro *Reorderer) InverseTableInto(inv []int) {
+	if len(inv) != ro.n {
+		panic(fmt.Sprintf("mixedradix: InverseTableInto destination has %d entries, hierarchy enumerates %d", len(inv), ro.n))
+	}
+	k := len(ro.h)
+	c := make([]int, k)
+	nr := 0
+	for r := 0; r < ro.n; r++ {
+		inv[nr] = r
+		for i := k - 1; i >= 0; i-- {
+			if c[i]+1 < ro.h[i] {
+				c[i]++
+				nr += ro.weights[i]
+				break
+			}
+			nr -= c[i] * ro.weights[i]
+			c[i] = 0
+		}
+	}
+}
+
+// TablePool recycles rank-table scratch for hot search loops (the advisor
+// evaluates thousands of orders per request; without pooling every
+// evaluation allocates an n-entry table). The zero value is ready to use
+// and safe for concurrent use.
+type TablePool struct {
+	p sync.Pool
+}
+
+// Get returns a slice of length n, reusing a pooled buffer when one with
+// enough capacity is available. The contents are unspecified.
+func (tp *TablePool) Get(n int) []int {
+	if v, _ := tp.p.Get().(*[]int); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]int, n)
+}
+
+// Put hands a buffer back to the pool. The caller must not use s again.
+func (tp *TablePool) Put(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	tp.p.Put(&s)
 }
 
 // ReorderAll is a convenience wrapper returning Table for (h, sigma).

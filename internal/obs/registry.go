@@ -243,6 +243,11 @@ func pow(base float64, exp int) float64 {
 // 100 s of virtual time.
 func TimeBuckets() []float64 { return LogBuckets(10, -7, 10) }
 
+// SearchBuckets returns the bucket layout for order-search latencies:
+// power-of-two buckets from ~1 µs to ~8 s, fine enough to separate the
+// equivalence-class fast path from a full k! evaluation.
+func SearchBuckets() []float64 { return LogBuckets(2, -20, 24) }
+
 // WallBuckets returns the default wall-clock latency layout: decades from
 // 100 ns to 1 s.
 func WallBuckets() []float64 { return LogBuckets(10, -7, 8) }

@@ -1,0 +1,120 @@
+// Fuzz harness for the Decompose∘Compose bijection (satellite of the
+// order-search fast path): random hierarchies × random orders × random
+// survivor masks, checking that the reorder table is always a permutation,
+// that UndoOrder really inverts the reordering, and that the degraded
+// survivor enumeration is exactly the alive cores in σ-order. Under plain
+// `go test` only the seed corpus runs; `go test -fuzz=FuzzReorderBijection
+// ./internal/reorder` explores further.
+
+package reorder
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/mixedradix"
+	"repro/internal/topology"
+)
+
+// caseFromSeed derives a random-but-reproducible hierarchy, order, and
+// failure set from one fuzz input.
+func caseFromSeed(seed uint64) (ar []int, sigma []int, failed []int) {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	depth := 1 + rng.Intn(6)
+	ar = make([]int, depth)
+	size := 1
+	for i := range ar {
+		ar[i] = 2 + rng.Intn(3)
+		size *= ar[i]
+	}
+	sigma = rng.Perm(depth)
+	// Fail up to a quarter of the cores (possibly none, possibly repeats —
+	// Degrade must tolerate duplicates).
+	for i := 0; i < rng.Intn(size/4+1); i++ {
+		failed = append(failed, rng.Intn(size))
+	}
+	return ar, sigma, failed
+}
+
+func FuzzReorderBijection(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 7, 42, 1234, 99999, 1 << 40, 0xdeadbeef} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		ar, sigma, failed := caseFromSeed(seed)
+		h, err := topology.New(ar...)
+		if err != nil {
+			t.Fatalf("topology.New(%v): %v", ar, err)
+		}
+		ro, err := New(h, sigma)
+		if err != nil {
+			t.Fatalf("New(%v, %v): %v", ar, sigma, err)
+		}
+		n := ro.Size()
+
+		// The table must be a permutation of [0, n): every new rank hit
+		// exactly once.
+		seen := make([]bool, n)
+		for old := 0; old < n; old++ {
+			nw := ro.NewRank(old)
+			if nw < 0 || nw >= n {
+				t.Fatalf("h=%v σ=%v: NewRank(%d) = %d outside [0, %d)", ar, sigma, old, nw, n)
+			}
+			if seen[nw] {
+				t.Fatalf("h=%v σ=%v: new rank %d assigned twice", ar, sigma, nw)
+			}
+			seen[nw] = true
+			if ro.OldRank(nw) != old {
+				t.Fatalf("h=%v σ=%v: inverse[%d] = %d, want %d", ar, sigma, nw, ro.OldRank(nw), old)
+			}
+		}
+
+		// UndoOrder inverts the reordering: composing the new rank against
+		// the reordered hierarchy with τ = UndoOrder(σ) restores the
+		// original rank.
+		rh := mixedradix.ReorderedHierarchy(ar, sigma)
+		tau := mixedradix.UndoOrder(sigma)
+		for old := 0; old < n; old++ {
+			back := mixedradix.NewRank(rh, ro.NewRank(old), tau)
+			if back != old {
+				t.Fatalf("h=%v σ=%v τ=%v: rank %d round-trips to %d", ar, sigma, tau, old, back)
+			}
+		}
+
+		// Degraded survivor enumeration: exactly the alive cores, each once,
+		// in the same relative order the full σ-enumeration visits them.
+		d, err := h.Degrade(failed...)
+		if err != nil {
+			t.Fatalf("Degrade(%v): %v", failed, err)
+		}
+		surv, err := SurvivorOrder(d, sigma)
+		if err != nil {
+			t.Fatalf("SurvivorOrder(%v, %v): %v", failed, sigma, err)
+		}
+		if len(surv) != d.NumAlive() {
+			t.Fatalf("h=%v σ=%v failed=%v: %d survivors enumerated, want %d", ar, sigma, failed, len(surv), d.NumAlive())
+		}
+		pos := make(map[int]int, n) // core → position in the full σ-enumeration
+		for nw := 0; nw < n; nw++ {
+			pos[ro.OldRank(nw)] = nw
+		}
+		for i, core := range surv {
+			if !d.Alive(core) {
+				t.Fatalf("h=%v σ=%v failed=%v: survivor %d is a failed core %d", ar, sigma, failed, i, core)
+			}
+			if i > 0 && pos[surv[i-1]] >= pos[core] {
+				t.Fatalf("h=%v σ=%v failed=%v: survivors %d,%d out of σ-order", ar, sigma, failed, surv[i-1], core)
+			}
+		}
+		got := append([]int(nil), surv...)
+		sort.Ints(got)
+		want := d.AliveCores()
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("h=%v σ=%v failed=%v: survivor set %v, want alive set %v", ar, sigma, failed, got, want)
+			}
+		}
+	})
+}
