@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test check race bench clean
+# SMOKE_TRACE is where the serving-telemetry smoke run writes the server's
+# Perfetto trace; CI uploads it as an artifact when the job fails.
+SMOKE_TRACE ?= /tmp/mrserved-smoke-trace.json
+SMOKE_ADDR  ?= 127.0.0.1:18077
+SMOKE_DEBUG ?= 127.0.0.1:18078
+
+.PHONY: all build test check race smoke bench clean
 
 all: build
 
@@ -11,9 +17,10 @@ test:
 	$(GO) test ./...
 
 # race runs the concurrency-heavy packages under the race detector: the
-# service, the simulator core, and the fault-injection layer.
+# service, its telemetry layer, the simulator core, and the
+# fault-injection layer.
 race:
-	$(GO) test -race ./internal/mapd/... ./internal/sim/... ./internal/fault/... ./internal/mpi/...
+	$(GO) test -race ./internal/mapd/... ./internal/obs/... ./internal/sim/... ./internal/fault/... ./internal/mpi/...
 
 # check is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build (including the serving commands), the full test suite under the
@@ -34,6 +41,40 @@ check:
 	$(GO) test -race ./...
 	$(GO) run ./cmd/mrbench -fig 3 -maxsize 16KB -iters 1 \
 		-faults "straggle:rank=3,factor=4;link:level=1,degrade=0.8" > /dev/null
+	$(MAKE) smoke
+
+# smoke boots a real mrserved with the pprof debug listener and trace
+# export, probes every telemetry surface (/metrics incl. runtime-sampler
+# series, /v1/slo, /debug/pprof/heap), issues one traced request, shuts
+# the daemon down gracefully, and validates the written Perfetto trace by
+# opening it with mrtrace.
+smoke:
+	$(GO) build -o /tmp/mrserved.smoke ./cmd/mrserved
+	$(GO) build -o /tmp/mrtrace.smoke ./cmd/mrtrace
+	@set -e; \
+	rm -f $(SMOKE_TRACE); \
+	/tmp/mrserved.smoke -addr $(SMOKE_ADDR) -debug-addr $(SMOKE_DEBUG) \
+		-trace $(SMOKE_TRACE) -announce 100ms & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "smoke: mrserved never came up on $(SMOKE_ADDR)"; exit 1; }; \
+	curl -fsS -X POST -H 'traceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01' \
+		-d '{"hierarchy":"2,2,4","rank":5}' http://$(SMOKE_ADDR)/v1/map >/dev/null; \
+	curl -fsS http://$(SMOKE_ADDR)/metrics | grep -q '^rt_goroutines'; \
+	curl -fsS http://$(SMOKE_ADDR)/metrics | grep -q '^slo_burn_rate'; \
+	curl -fsS http://$(SMOKE_ADDR)/v1/slo | grep -q '"availability_burn"'; \
+	curl -fsS -o /dev/null http://$(SMOKE_DEBUG)/debug/pprof/heap; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	/tmp/mrtrace.smoke -open $(SMOKE_TRACE) | grep -q 'http /v1/map'; \
+	grep -q 'trace 0af7651916cd43dd8448eb211c80319c' $(SMOKE_TRACE) || \
+		{ echo "smoke: injected trace id missing from server trace"; exit 1; }; \
+	rm -f /tmp/mrserved.smoke /tmp/mrtrace.smoke; \
+	echo "smoke: serving telemetry OK ($(SMOKE_TRACE))"
 
 # bench regenerates the headline benchmark numbers as a JSON stream, plus
 # the order-search fast-path comparison (full vs. equivalence-class pruned

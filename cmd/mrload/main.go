@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/mapd"
+	"repro/internal/obs/rt"
 )
 
 type shot struct {
@@ -123,16 +124,28 @@ type outcome struct {
 	transport int64 // connection-level failures
 	gaveUp    bool  // retries exhausted without a success
 	latency   time.Duration
+	traceID   string // trace of the successful attempt, for exemplars
 }
 
 // doShot issues one logical request, retrying shed/5xx/transport failures
 // per the policy. 4xx responses are the caller's fault and never retried.
-func doShot(client *http.Client, base string, s shot, p retryPolicy, rng *rand.Rand) outcome {
+// A non-empty traceparent is injected on every attempt; the outcome's
+// traceID is taken from the response's traceparent header (the server
+// announces its span there whether or not one was injected).
+func doShot(client *http.Client, base string, s shot, p retryPolicy, rng *rand.Rand, traceparent string) outcome {
 	var out outcome
 	for attempt := 0; ; attempt++ {
 		out.attempts++
 		start := time.Now()
-		resp, err := client.Post(base+s.endpoint, "application/json", bytes.NewReader(s.body))
+		req, err := http.NewRequest(http.MethodPost, base+s.endpoint, bytes.NewReader(s.body))
+		if err != nil {
+			panic(err) // static URL + endpoint: unreachable
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := client.Do(req)
 		var retryAfter time.Duration
 		if err != nil {
 			out.transport++
@@ -143,6 +156,9 @@ func doShot(client *http.Client, base string, s shot, p retryPolicy, rng *rand.R
 			case resp.StatusCode == http.StatusOK:
 				out.ok = true
 				out.latency = time.Since(start)
+				if tid, _, _, ok := rt.ParseTraceparent(resp.Header.Get("traceparent")); ok {
+					out.traceID = tid.String()
+				}
 				return out
 			case resp.StatusCode == http.StatusServiceUnavailable:
 				out.shed++
@@ -164,12 +180,58 @@ func doShot(client *http.Client, base string, s shot, p retryPolicy, rng *rand.R
 	}
 }
 
+// exemplarBucket is one latency bucket carrying an example trace id — the
+// slowest successful request that landed in the bucket — so a percentile
+// regression drills straight down to one concrete server-side trace.
+type exemplarBucket struct {
+	le          time.Duration // inclusive upper bound; 0 means +Inf
+	count       int64
+	exemplarID  string
+	exemplarLat time.Duration
+}
+
+// exemplarBounds are the latency bucket edges of the report histogram.
+var exemplarBounds = []time.Duration{
+	time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, time.Second,
+}
+
+func newExemplarBuckets() []exemplarBucket {
+	bs := make([]exemplarBucket, len(exemplarBounds)+1)
+	for i, le := range exemplarBounds {
+		bs[i].le = le
+	}
+	return bs // last bucket keeps le == 0: +Inf
+}
+
+// observe files one successful latency, keeping the slowest sample seen
+// in the bucket as its exemplar.
+func observe(bs []exemplarBucket, lat time.Duration, traceID string) {
+	i := sort.Search(len(exemplarBounds), func(i int) bool { return lat <= exemplarBounds[i] })
+	b := &bs[i]
+	b.count++
+	if traceID != "" && (b.exemplarID == "" || lat > b.exemplarLat) {
+		b.exemplarID, b.exemplarLat = traceID, lat
+	}
+}
+
+func mergeBuckets(dst, src []exemplarBucket) {
+	for i := range dst {
+		dst[i].count += src[i].count
+		if src[i].exemplarID != "" && (dst[i].exemplarID == "" || src[i].exemplarLat > dst[i].exemplarLat) {
+			dst[i].exemplarID, dst[i].exemplarLat = src[i].exemplarID, src[i].exemplarLat
+		}
+	}
+}
+
 // totals aggregates outcomes across all workers of one run.
 type totals struct {
 	ok, attempts, retries      int64
 	shed, serverErr, clientErr int64
 	transport, gaveUp          int64
 	latencies                  []time.Duration
+	buckets                    []exemplarBucket
 }
 
 func (t *totals) add(o outcome, measure bool) {
@@ -177,6 +239,10 @@ func (t *totals) add(o outcome, measure bool) {
 		t.ok++
 		if measure {
 			t.latencies = append(t.latencies, o.latency)
+			if t.buckets == nil {
+				t.buckets = newExemplarBuckets()
+			}
+			observe(t.buckets, o.latency, o.traceID)
 		}
 	}
 	t.attempts += o.attempts
@@ -200,6 +266,32 @@ func (t *totals) merge(w totals) {
 	t.transport += w.transport
 	t.gaveUp += w.gaveUp
 	t.latencies = append(t.latencies, w.latencies...)
+	if w.buckets != nil {
+		if t.buckets == nil {
+			t.buckets = newExemplarBuckets()
+		}
+		mergeBuckets(t.buckets, w.buckets)
+	}
+}
+
+// printBuckets renders the exemplar histogram: one line per non-empty
+// bucket, with the example trace id when the server sent one.
+func printBuckets(w io.Writer, bs []exemplarBucket) {
+	fmt.Fprintf(w, "  latency histogram (exemplar = slowest trace in bucket):\n")
+	for _, b := range bs {
+		if b.count == 0 {
+			continue
+		}
+		le := "+Inf"
+		if b.le > 0 {
+			le = b.le.String()
+		}
+		line := fmt.Sprintf("    ≤ %-8s %8d", le, b.count)
+		if b.exemplarID != "" {
+			line += fmt.Sprintf("   e.g. trace %s @ %s", b.exemplarID, b.exemplarLat)
+		}
+		fmt.Fprintln(w, line)
+	}
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -219,6 +311,8 @@ func main() {
 	retries := flag.Int("retries", 3, "retry attempts per request for 5xx/transport failures")
 	backoff := flag.Duration("backoff", 10*time.Millisecond, "base retry backoff (doubles per attempt, with jitter)")
 	maxBackoff := flag.Duration("maxbackoff", 1*time.Second, "retry backoff cap")
+	traceparent := flag.String("traceparent", "",
+		`traceparent injection: empty = none, "auto" = fresh sampled trace per request, else sent verbatim`)
 	flag.Parse()
 
 	shots := workload(*spread)
@@ -244,7 +338,11 @@ func main() {
 				var mine totals
 				for time.Now().Before(deadline) {
 					s := shots[rng.Intn(len(shots))]
-					mine.add(doShot(client, *url, s, policy, rng), measure)
+					tp := *traceparent
+					if tp == "auto" {
+						tp, _ = rt.ClientTraceparent(rng)
+					}
+					mine.add(doShot(client, *url, s, policy, rng, tp), measure)
 				}
 				mu.Lock()
 				all.merge(mine)
@@ -280,6 +378,9 @@ func main() {
 		fmt.Printf("  latency p90 %10s\n", percentile(t.latencies, 0.90))
 		fmt.Printf("  latency p99 %10s\n", percentile(t.latencies, 0.99))
 		fmt.Printf("  latency max %10s\n", t.latencies[len(t.latencies)-1])
+	}
+	if t.buckets != nil {
+		printBuckets(os.Stdout, t.buckets)
 	}
 	if t.ok == 0 {
 		os.Exit(1)

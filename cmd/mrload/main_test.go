@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -51,7 +52,7 @@ func TestDoShotRetriesShedThenSucceeds(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(3), rand.New(rand.NewSource(1)))
+	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(3), rand.New(rand.NewSource(1)), "")
 	if !out.ok || out.gaveUp {
 		t.Fatalf("outcome not ok: %+v", out)
 	}
@@ -69,7 +70,7 @@ func TestDoShotClassifiesOther5xxSeparately(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)))
+	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)), "")
 	if out.ok || !out.gaveUp {
 		t.Fatalf("500s must exhaust retries: %+v", out)
 	}
@@ -86,7 +87,7 @@ func TestDoShotDoesNotRetry4xx(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(5), rand.New(rand.NewSource(1)))
+	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(5), rand.New(rand.NewSource(1)), "")
 	if out.ok || out.gaveUp {
 		t.Fatalf("4xx is a terminal client error: %+v", out)
 	}
@@ -100,7 +101,7 @@ func TestDoShotClassifiesTransportErrors(t *testing.T) {
 	ts.Close() // nothing is listening: every attempt is a transport error
 
 	out := doShot(&http.Client{Timeout: time.Second}, ts.URL, shot{endpoint: "/v1/map"},
-		testPolicy(2), rand.New(rand.NewSource(1)))
+		testPolicy(2), rand.New(rand.NewSource(1)), "")
 	if out.ok || !out.gaveUp {
 		t.Fatalf("dead server must exhaust retries: %+v", out)
 	}
@@ -121,5 +122,99 @@ func TestTotalsSeparateRetriesFromGoodput(t *testing.T) {
 	}
 	if len(tt.latencies) != 1 {
 		t.Fatalf("latency recorded for failed request: %+v", tt)
+	}
+}
+
+// TestDoShotInjectsTraceparentAndCapturesTraceID: the injected header
+// reaches the server on every attempt, and the outcome records the trace
+// id the server's traceparent response header announces.
+func TestDoShotInjectsTraceparentAndCapturesTraceID(t *testing.T) {
+	const inject = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("traceparent"); got != inject {
+			t.Errorf("attempt %d: traceparent %q, want %q", calls.Load(), got, inject)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("traceparent", "00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-01")
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)), inject)
+	if !out.ok || out.attempts != 2 {
+		t.Fatalf("outcome %+v", out)
+	}
+	if out.traceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("traceID %q not captured from response header", out.traceID)
+	}
+}
+
+func TestExemplarBucketsKeepSlowestTrace(t *testing.T) {
+	bs := newExemplarBuckets()
+	observe(bs, 800*time.Microsecond, "aa") // bucket ≤1ms
+	observe(bs, 900*time.Microsecond, "bb") // same bucket, slower: replaces
+	observe(bs, 850*time.Microsecond, "cc") // same bucket, faster: kept out
+	observe(bs, 3*time.Millisecond, "dd")   // bucket ≤5ms
+	observe(bs, 2*time.Second, "ee")        // +Inf bucket
+	observe(bs, 4*time.Millisecond, "")     // counted, no exemplar offered
+
+	if bs[0].count != 3 || bs[0].exemplarID != "bb" {
+		t.Fatalf("≤1ms bucket %+v, want count 3 exemplar bb", bs[0])
+	}
+	if bs[2].count != 2 || bs[2].exemplarID != "dd" {
+		t.Fatalf("≤5ms bucket %+v, want count 2 exemplar dd", bs[2])
+	}
+	last := bs[len(bs)-1]
+	if last.le != 0 || last.count != 1 || last.exemplarID != "ee" {
+		t.Fatalf("+Inf bucket %+v", last)
+	}
+
+	// A boundary value lands in the bucket it bounds (le is inclusive).
+	bs2 := newExemplarBuckets()
+	observe(bs2, time.Millisecond, "edge")
+	if bs2[0].count != 1 {
+		t.Fatalf("1ms sample missed the ≤1ms bucket: %+v", bs2[0])
+	}
+
+	// Merging prefers the slower exemplar and sums counts.
+	mergeBuckets(bs, bs2)
+	if bs[0].count != 4 || bs[0].exemplarID != "edge" {
+		t.Fatalf("merged ≤1ms bucket %+v, want count 4 exemplar edge (1ms > 900µs)", bs[0])
+	}
+
+	var buf strings.Builder
+	printBuckets(&buf, bs)
+	for _, want := range []string{"≤ 1ms", "edge", "+Inf", "ee"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestTotalsCollectExemplarBuckets: add feeds the histogram only for
+// measured successes, and merge combines worker histograms.
+func TestTotalsCollectExemplarBuckets(t *testing.T) {
+	var a, b, all totals
+	a.add(outcome{ok: true, attempts: 1, latency: 2 * time.Millisecond, traceID: "t1"}, true)
+	a.add(outcome{ok: true, attempts: 1, latency: 2 * time.Millisecond, traceID: "warm"}, false)
+	b.add(outcome{ok: true, attempts: 1, latency: 30 * time.Millisecond, traceID: "t2"}, true)
+	all.merge(a)
+	all.merge(b)
+	var n int64
+	for _, bk := range all.buckets {
+		n += bk.count
+	}
+	if n != 2 {
+		t.Fatalf("histogram holds %d samples, want 2 (warm-up excluded)", n)
+	}
+	var buf strings.Builder
+	printBuckets(&buf, all.buckets)
+	if !strings.Contains(buf.String(), "t1") || !strings.Contains(buf.String(), "t2") {
+		t.Fatalf("merged exemplars missing:\n%s", buf.String())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -13,6 +14,27 @@ import (
 	"testing"
 	"time"
 )
+
+// TestServeBindErrorNamesAddress occupies a port and then asks serve to
+// bind it again: the error must name the chosen address so a failed
+// daemon start is diagnosable from the one line it prints.
+func TestServeBindErrorNamesAddress(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	o := options{addr: ln.Addr().String(), timeout: time.Second, maxBody: 1 << 20}
+	srv, httpSrv, _ := buildServers(o)
+	err = serve(context.Background(), srv, httpSrv, o, nil)
+	if err == nil {
+		t.Fatal("double bind succeeded")
+	}
+	if !strings.Contains(err.Error(), o.addr) {
+		t.Fatalf("bind error %q does not name the address %q", err, o.addr)
+	}
+}
 
 // TestGracefulDrainOnSIGTERM exercises the real shutdown path end to end:
 // a parked in-flight request survives a SIGTERM, /healthz flips to
@@ -27,7 +49,7 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 		announce: 2 * time.Second,
 		drain:    10 * time.Second,
 	}
-	srv, httpSrv := buildServers(o)
+	srv, httpSrv, _ := buildServers(o)
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
 	var once sync.Once

@@ -16,14 +16,21 @@
 //	mrtrace -scenario bench            # 64-rank Alltoall sweep point
 //	mrtrace -scenario cg -o out/       # CG on 8 cores of a LUMI node
 //	mrtrace -scenario splatt -p2p      # CP-ALS with point-to-point events
+//	mrtrace -open server-trace.json    # summarize an existing trace file
+//
+// -open reads a trace-event JSON file written elsewhere (e.g. mrserved's
+// -trace output of request-scoped server spans) instead of running a
+// scenario, and prints its metadata plus the same flame summary.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/bench"
 	"repro/internal/cg"
@@ -37,11 +44,20 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "bench", "workload to trace: bench, cg, or splatt")
+	open := flag.String("open", "", "summarize this trace-event JSON file instead of running a scenario")
 	outDir := flag.String("o", ".", "directory for trace.json, metrics.prom, metrics.csv")
 	topK := flag.Int("topk", 10, "operations to show in the flame summary")
 	p2p := flag.Bool("p2p", false, "also record one instant event per point-to-point send")
 	blockSpans := flag.Bool("blockspans", false, "also record engine block/wake spans (verbose)")
 	flag.Parse()
+
+	if *open != "" {
+		if err := openTrace(os.Stdout, *open, *topK); err != nil {
+			fmt.Fprintln(os.Stderr, "mrtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := obs.New(obs.Options{P2PEvents: *p2p, BlockSpans: *blockSpans})
 	var err error
@@ -96,6 +112,32 @@ func main() {
 	}
 	fmt.Printf("\nper-level byte check: %.0f bytes attributed across levels == %.0f total\n",
 		perLevel, total)
+}
+
+// openTrace loads an existing trace-event JSON file and prints its run
+// metadata, track inventory, and the flame summary — the read side of the
+// serving-telemetry loop: mrserved -trace writes, mrtrace -open drills in.
+func openTrace(w io.Writer, path string, topK int) error {
+	sc, err := obs.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	spans := sc.Spans()
+	fmt.Fprintf(w, "%s: %d spans, %d instants\n", path, len(spans), len(sc.Instants()))
+	meta := sc.Meta()
+	if len(meta) > 0 {
+		keys := make([]string, 0, len(meta))
+		for k := range meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %s = %s\n", k, meta[k])
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, obs.Summary(sc, topK))
+	return nil
 }
 
 // runBench traces one simultaneous-communicators Alltoall measurement on

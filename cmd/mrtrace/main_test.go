@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/rt"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestOpenSampledServerTraceGolden drives the full serving-telemetry loop
+// offline: a deterministic tracer records one sampled request's spans,
+// the Perfetto writer persists them (mrserved's -trace path), and
+// openTrace (mrtrace -open) renders the summary, compared to a golden.
+func TestOpenSampledServerTraceGolden(t *testing.T) {
+	now := time.Unix(1000, 0)
+	step := func() time.Time { now = now.Add(10 * time.Millisecond); return now }
+	var ctr uint64
+	tr := rt.NewTracer(rt.Options{Service: "mrserved", SampleRatio: 1,
+		Now: step, Rand: func() uint64 { ctr++; return ctr }})
+
+	const upstream = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	ctx, root := tr.StartRequest(context.Background(), "http /v1/advise", upstream)
+	_, lookup := rt.StartSpan(ctx, "cache.lookup")
+	lookup.SetAttr("hit", 0)
+	lookup.End()
+	sfCtx, sf := rt.StartSpan(ctx, "singleflight")
+	_, eval := rt.StartSpan(sfCtx, "evaluate")
+	eval.End()
+	sf.SetAttr("shared", 0)
+	sf.End()
+	root.SetAttr("http_status", 200)
+	root.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := obs.WriteTraceFile(path, tr.Scope()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := openTrace(&buf, path, 10); err != nil {
+		t.Fatal(err)
+	}
+	first, rest, _ := strings.Cut(buf.String(), "\n")
+	if !strings.HasSuffix(first, ": 4 spans, 0 instants") {
+		t.Fatalf("header line %q, want the span inventory", first)
+	}
+
+	golden := filepath.Join("testdata", "server_trace_summary.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(rest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/mrtrace -run Golden -update)", err)
+	}
+	if rest != string(want) {
+		t.Fatalf("summary drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", rest, want)
+	}
+
+	// The committed trace is attributable: its thread track carries the
+	// injected trace id, visible to anyone opening the file in Perfetto.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "trace 0af7651916cd43dd8448eb211c80319c") {
+		t.Fatalf("trace file does not name the track after the injected trace id:\n%s", raw)
+	}
+}
+
+func TestOpenTraceMissingFile(t *testing.T) {
+	if err := openTrace(&bytes.Buffer{}, filepath.Join(t.TempDir(), "nope.json"), 5); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/rt"
 	"repro/internal/perm"
 )
 
@@ -86,6 +87,9 @@ func Rank(ctx context.Context, sc Scenario, orders [][]int, opts RankOptions) ([
 	if n == 0 {
 		return nil, nil
 	}
+	ctx, span := rt.StartSpan(ctx, "advisor.rank")
+	span.SetAttr("orders", int64(n))
+	defer span.End()
 
 	// groups[g] lists the indices of orders sharing one signature; the
 	// first member is the class representative. A nil grouping (pruning
@@ -102,8 +106,10 @@ func Rank(ctx context.Context, sc Scenario, orders [][]int, opts RankOptions) ([
 		}
 	}
 
+	span.SetAttr("classes", int64(len(groups)))
 	reps := make([]Prediction, len(groups))
 	if err := evalRepresentatives(ctx, sc, orders, groups, reps, opts); err != nil {
+		span.SetError()
 		return nil, err
 	}
 
@@ -190,17 +196,26 @@ func evalRepresentatives(ctx context.Context, sc Scenario, orders [][]int, group
 		go func() {
 			defer wg.Done()
 			for u := range units {
+				// One span per chunk keeps trace volume proportional to the
+				// work units, not the k! candidate orders.
+				_, span := rt.StartSpan(ctx, "advisor.chunk")
+				span.SetAttr("lo", int64(u.lo))
+				span.SetAttr("classes", int64(u.hi-u.lo))
 				for g := u.lo; g < u.hi; g++ {
 					if ctx.Err() != nil {
+						span.End()
 						return
 					}
 					pr, err := Predict(sc, orders[groups[g][0]])
 					if err != nil {
+						span.SetError()
+						span.End()
 						fail(err)
 						return
 					}
 					reps[g] = pr
 				}
+				span.End()
 			}
 		}()
 	}

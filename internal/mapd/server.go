@@ -4,6 +4,13 @@
 // body-size cap before parsing, validation limits in parse.go, and a
 // per-evaluation timeout — so the daemon stays predictable under abusive
 // or accidental load.
+//
+// Telemetry wraps the whole pipeline: a middleware extracts/injects W3C
+// traceparent headers and opens the request's root span, the cache,
+// singleflight, breaker-fallback and evaluation stages annotate child
+// spans, one structured log line per request carries the trace id, every
+// error body quotes it, and each request outcome feeds the rolling SLO
+// burn-rate tracker surfaced on /v1/slo, /metrics, and /healthz.
 
 package mapd
 
@@ -14,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -21,6 +29,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/obs"
+	"repro/internal/obs/rt"
 )
 
 // Config tunes a Server. The zero value picks production defaults.
@@ -53,6 +62,15 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// Registry receives the service metrics (default: a fresh registry).
 	Registry *obs.Registry
+	// Tracer records request-scoped spans (nil disables tracing; every
+	// instrumentation point is nil-safe).
+	Tracer *rt.Tracer
+	// Logger receives one structured line per request plus error-path
+	// diagnostics, trace-correlated when Tracer is set (default: discard).
+	Logger *slog.Logger
+	// SLO tracks rolling burn rates per endpoint (default: a tracker with
+	// rt.SLOOptions defaults). Fast-burning SLOs degrade /healthz.
+	SLO *rt.SLOTracker
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +98,12 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.SLO == nil {
+		c.SLO = rt.NewSLOTracker(rt.SLOOptions{})
+	}
 	return c
 }
 
@@ -90,6 +114,8 @@ type Server struct {
 	flight  flightGroup
 	reg     *obs.Registry
 	breaker *breaker // nil when disabled
+	slo     *rt.SLOTracker
+	logger  *slog.Logger
 
 	inflightN atomic.Int64 // shedding decision
 	draining  atomic.Bool
@@ -113,6 +139,8 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		cache:     NewCache(cfg.CacheEntries, cfg.CacheShards),
 		reg:       cfg.Registry,
+		slo:       cfg.SLO,
+		logger:    cfg.Logger,
 		inflight:  cfg.Registry.Gauge("mapd_inflight_requests"),
 		shared:    cfg.Registry.Counter("mapd_singleflight_shared_total"),
 		evals:     cfg.Registry.Counter("mapd_advise_evals_total"),
@@ -147,7 +175,12 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 //	POST /v1/select         --cpu-bind=map_cpu core list (Algorithm 3)
 //	POST /v1/metrics/order  ring cost & pairs per level (§3.3)
 //	GET  /metrics           Prometheus exposition of the registry
+//	GET  /v1/slo            rolling SLO burn rates per endpoint
 //	GET  /healthz           liveness probe
+//
+// The returned handler is wrapped in the telemetry middleware: W3C
+// traceparent extraction/injection, per-request structured logging, and
+// SLO recording.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/map", s.serve("map", func(body []byte) (string, computeFunc, error) {
@@ -209,11 +242,24 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			writeError(r.Context(), w, http.StatusMethodNotAllowed, "use GET")
 			return
 		}
+		s.slo.Publish(s.reg)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = obs.WritePrometheus(w, s.reg)
+	})
+	mux.HandleFunc("/v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(r.Context(), w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		b, err := json.Marshal(s.slo.Report())
+		if err != nil {
+			writeError(r.Context(), w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, append(b, '\n'))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		status, code := s.health()
@@ -224,21 +270,102 @@ func (s *Server) Handler() http.Handler {
 		}
 		_, _ = w.Write([]byte(`{"status":"` + status + `"}` + "\n"))
 	})
-	return mux
+	return s.withTelemetry(mux)
 }
 
 // health resolves the tri-state /healthz answer: draining beats degraded
-// beats healthy. Degraded (advisor breaker not closed) still returns 200 —
-// the service answers, just from cache or heuristics.
+// beats healthy. Degraded (advisor breaker not closed, or an SLO burning
+// fast enough to page) still returns 200 — the service answers, just from
+// cache or heuristics. The SLO check fires on sustained elevated error or
+// latency rates, degrading health before the breaker's consecutive-failure
+// counter ever trips.
 func (s *Server) health() (string, int) {
 	switch {
 	case s.draining.Load():
 		return "draining", http.StatusServiceUnavailable
 	case s.breaker != nil && s.breaker.State() != breakerClosed:
 		return "degraded", http.StatusOK
+	case s.slo.FastBurning():
+		return "degraded", http.StatusOK
 	default:
 		return "healthy", http.StatusOK
 	}
+}
+
+// statusWriter captures the response code and size for logging and SLO
+// accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// apiEndpoint maps a request path to its SLO endpoint name; only the
+// query endpoints are tracked, keeping label cardinality bounded.
+func apiEndpoint(path string) (string, bool) {
+	switch path {
+	case "/v1/map":
+		return "map", true
+	case "/v1/advise":
+		return "advise", true
+	case "/v1/select":
+		return "select", true
+	case "/v1/metrics/order":
+		return "metrics_order", true
+	default:
+		return "", false
+	}
+}
+
+// withTelemetry is the outermost middleware: it opens the request's root
+// span (continuing an upstream traceparent when present), injects the
+// traceparent response header so clients can quote the trace, records the
+// outcome into the SLO tracker, and emits one structured log line.
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, span := s.cfg.Tracer.StartRequest(r.Context(), "http "+r.URL.Path, r.Header.Get("traceparent"))
+		if tp := span.Traceparent(); tp != "" {
+			w.Header().Set("traceparent", tp)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		if ep, ok := apiEndpoint(r.URL.Path); ok {
+			s.slo.Record(ep, sw.code, elapsed)
+		}
+		span.SetAttr("http_status", int64(sw.code))
+		if sw.code >= http.StatusInternalServerError {
+			span.SetError()
+		}
+		span.End()
+		level := slog.LevelInfo
+		switch {
+		case sw.code >= http.StatusInternalServerError:
+			level = slog.LevelError
+		case sw.code >= http.StatusBadRequest:
+			level = slog.LevelWarn
+		}
+		s.logger.LogAttrs(ctx, level, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
 }
 
 // computeFunc evaluates one parsed request.
@@ -282,6 +409,7 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 	latency := s.reg.Histogram("mapd_request_seconds", obs.WallBuckets(), obs.L("endpoint", name))
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		ctx := r.Context()
 		s.inflight.Add(1)
 		n := s.inflightN.Add(1)
 		code := http.StatusOK
@@ -294,37 +422,41 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 		}()
 		if s.draining.Load() {
 			w.Header().Set("Retry-After", "1")
-			code = writeError(w, http.StatusServiceUnavailable, "server is draining")
+			code = writeError(ctx, w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
 		if s.cfg.MaxInflight > 0 && n > int64(s.cfg.MaxInflight) {
 			s.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
-			code = writeError(w, http.StatusServiceUnavailable,
+			code = writeError(ctx, w, http.StatusServiceUnavailable,
 				fmt.Sprintf("over %d requests in flight, try again shortly", s.cfg.MaxInflight))
 			return
 		}
 		if r.Method != http.MethodPost {
-			code = writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+			code = writeError(ctx, w, http.StatusMethodNotAllowed, "use POST with a JSON body")
 			return
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 		if err != nil {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				code = writeError(w, http.StatusRequestEntityTooLarge,
+				code = writeError(ctx, w, http.StatusRequestEntityTooLarge,
 					fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBody))
 			} else {
-				code = writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+				code = writeError(ctx, w, http.StatusBadRequest, "reading request body: "+err.Error())
 			}
 			return
 		}
 		key, compute, fallback, err := parse(body)
 		if err != nil {
-			code = writeError(w, http.StatusBadRequest, clientMessage(err))
+			code = writeError(ctx, w, http.StatusBadRequest, clientMessage(err))
 			return
 		}
-		if cached, ok := s.cache.Get(key); ok {
+		_, lookup := rt.StartSpan(ctx, "cache.lookup")
+		cached, ok := s.cache.Get(key)
+		lookup.SetAttr("hit", b2i(ok))
+		lookup.End()
+		if ok {
 			hits.Add(1)
 			writeJSON(w, cached)
 			return
@@ -334,50 +466,72 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 			// Breaker open: answer from the cheap heuristic, uncached so a
 			// recovered breaker re-evaluates the real search.
 			s.fallbacks.Add(1)
-			resp, ferr := fallback(r.Context())
+			fctx, fsp := rt.StartSpan(ctx, "advise.fallback")
+			resp, ferr := fallback(fctx)
 			if ferr != nil {
-				code = writeError(w, http.StatusInternalServerError, ferr.Error())
+				fsp.SetError()
+				fsp.End()
+				code = writeError(ctx, w, http.StatusInternalServerError, ferr.Error())
 				return
 			}
 			b, ferr := json.Marshal(resp)
+			fsp.End()
 			if ferr != nil {
-				code = writeError(w, http.StatusInternalServerError, ferr.Error())
+				code = writeError(ctx, w, http.StatusInternalServerError, ferr.Error())
 				return
 			}
 			writeJSON(w, append(b, '\n'))
 			return
 		}
-		val, err, _ := s.flight.Do(key, func() ([]byte, error) {
+		flightCtx, flightSpan := rt.StartSpan(ctx, "singleflight")
+		val, err, shared := s.flight.Do(key, func() ([]byte, error) {
 			// Detached from the client connection: a singleflight result is
-			// shared, so it must not die with its first requester.
+			// shared, so it must not die with its first requester. The trace
+			// context is re-attached explicitly so the evaluation's spans
+			// stay children of the (first) requester's trace.
 			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
 			defer cancel()
+			ctx, eval := rt.StartSpan(rt.ContextWithSpan(ctx, rt.SpanFromContext(flightCtx)), "evaluate")
+			defer eval.End()
 			resp, err := compute(ctx)
 			if err != nil {
+				eval.SetError()
 				return nil, err
 			}
 			b, err := json.Marshal(resp)
 			if err != nil {
+				eval.SetError()
 				return nil, err
 			}
 			b = append(b, '\n')
 			s.cache.Put(key, b)
 			return b, nil
 		})
+		flightSpan.SetAttr("shared", b2i(shared))
+		flightSpan.End()
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrBadRequest):
-				code = writeError(w, http.StatusBadRequest, clientMessage(err))
+				code = writeError(ctx, w, http.StatusBadRequest, clientMessage(err))
 			case errors.Is(err, context.DeadlineExceeded):
-				code = writeError(w, http.StatusGatewayTimeout,
+				code = writeError(ctx, w, http.StatusGatewayTimeout,
 					fmt.Sprintf("evaluation exceeded the %s budget", s.cfg.Timeout))
 			default:
-				code = writeError(w, http.StatusInternalServerError, err.Error())
+				code = writeError(ctx, w, http.StatusInternalServerError, err.Error())
 			}
+			s.logger.LogAttrs(ctx, slog.LevelError, "evaluation failed",
+				slog.String("endpoint", name), slog.String("error", err.Error()))
 			return
 		}
 		writeJSON(w, val)
 	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, body []byte) {
@@ -386,14 +540,16 @@ func writeJSON(w http.ResponseWriter, body []byte) {
 }
 
 // writeError emits the structured error envelope and returns the code so
-// callers can record it.
-func writeError(w http.ResponseWriter, code int, msg string) int {
+// callers can record it. The context's trace id (when tracing is on) is
+// embedded in the body so clients can quote it back verbatim.
+func writeError(ctx context.Context, w http.ResponseWriter, code int, msg string) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	body, _ := json.Marshal(errorBody{Error: errorDetail{
 		Code:    code,
 		Status:  statusSlug(code),
 		Message: msg,
+		TraceID: rt.SpanFromContext(ctx).TraceID(),
 	}})
 	_, _ = w.Write(append(body, '\n'))
 	return code

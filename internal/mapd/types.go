@@ -145,6 +145,9 @@ type errorDetail struct {
 	Code    int    `json:"code"`
 	Status  string `json:"status"`
 	Message string `json:"message"`
+	// TraceID is the request's distributed-tracing id (when tracing is
+	// enabled), so clients can quote the exact failing trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // intsKey renders ints compactly for cache keys.

@@ -1,0 +1,58 @@
+// Trace-correlated structured logging: a log/slog handler decorator that
+// stamps every record carrying a span context with its trace_id and
+// span_id, so a log line, a Perfetto trace, and a structured error body
+// can be joined on one id. The decorator is stateless beyond the inner
+// handler and safe to share across concurrent requests.
+
+package rt
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// LogHandler wraps an inner slog.Handler, adding trace_id/span_id
+// attributes from the record's context.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner with trace correlation.
+func NewLogHandler(inner slog.Handler) *LogHandler {
+	return &LogHandler{inner: inner}
+}
+
+// NewTextLogger returns a ready-made trace-correlated text logger writing
+// to w at the given level — the serving CLIs' default logger shape.
+func NewTextLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(NewLogHandler(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler: records whose context carries a span
+// gain trace_id and span_id attributes.
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := SpanFromContext(ctx); sp != nil {
+		rec = rec.Clone()
+		rec.AddAttrs(
+			slog.String("trace_id", sp.TraceID()),
+			slog.String("span_id", sp.SpanID()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,142 @@
+package rt
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer serializes writes so concurrent log lines stay whole.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestLogHandlerStampsTraceIDs(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(NewLogHandler(slog.NewJSONHandler(&buf, nil)))
+	tr := testTracer(1)
+
+	ctx, sp := tr.StartRequest(context.Background(), "http /v1/map", "")
+	logger.InfoContext(ctx, "request", "status", 200)
+	sp.End()
+	logger.Info("no span here")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != sp.TraceID() || rec["span_id"] != sp.SpanID() {
+		t.Fatalf("line missing trace correlation: %s", lines[0])
+	}
+	rec = map[string]any{}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec["trace_id"]; ok {
+		t.Fatalf("span-less record gained a trace_id: %s", lines[1])
+	}
+}
+
+// TestLogHandlerConcurrentReuse shares one handler across many goroutines
+// each logging under its own span — the -race gate for handler reuse —
+// and checks every line carries its own goroutine's trace id.
+func TestLogHandlerConcurrentReuse(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(NewLogHandler(slog.NewJSONHandler(&buf, nil))).
+		With("service", "test")
+	tr := testTracer(1)
+
+	const workers = 16
+	const lines = 25
+	want := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, sp := tr.StartRequest(context.Background(), "req", "")
+			want[w] = sp.TraceID()
+			for i := 0; i < lines; i++ {
+				logger.InfoContext(ctx, "tick", "worker", w, "i", i)
+			}
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+
+	perTrace := map[string]map[int]bool{}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	n := 0
+	for sc.Scan() {
+		n++
+		var rec struct {
+			TraceID string  `json:"trace_id"`
+			Worker  float64 `json:"worker"`
+			Service string  `json:"service"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if rec.Service != "test" {
+			t.Fatalf("WithAttrs lost through the decorator: %q", sc.Text())
+		}
+		m := perTrace[rec.TraceID]
+		if m == nil {
+			m = map[int]bool{}
+			perTrace[rec.TraceID] = m
+		}
+		m[int(rec.Worker)] = true
+	}
+	if n != workers*lines {
+		t.Fatalf("got %d lines, want %d", n, workers*lines)
+	}
+	if len(perTrace) != workers {
+		t.Fatalf("got %d distinct trace ids, want %d", len(perTrace), workers)
+	}
+	for w, id := range want {
+		m := perTrace[id]
+		if len(m) != 1 || !m[w] {
+			t.Fatalf("trace %s mixed workers: %v (want only %d)", id, m, w)
+		}
+	}
+}
+
+func TestLogHandlerWithGroup(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(NewLogHandler(slog.NewJSONHandler(&buf, nil))).WithGroup("req")
+	tr := testTracer(1)
+	ctx, sp := tr.StartRequest(context.Background(), "r", "")
+	logger.InfoContext(ctx, "m", "k", "v")
+	sp.End()
+	out := buf.String()
+	// trace_id lands inside the open group — correlation survives grouping.
+	if !strings.Contains(out, sp.TraceID()) {
+		t.Fatalf("grouped record lost trace id: %s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("%q:{", "req")) {
+		t.Fatalf("group structure missing: %s", out)
+	}
+}

@@ -1,0 +1,102 @@
+// W3C Trace Context "traceparent" header handling (the 00 version):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^  ^ 16-byte trace id (32 hex)      ^ 8-byte span id  ^ flags
+//
+// Parsing is deliberately strict about structure (lengths, separators,
+// lowercase hex, nonzero ids) and lenient about future versions, per the
+// spec: any two-hex-digit version other than "ff" is accepted as long as
+// the 00-shaped prefix fields parse.
+
+package rt
+
+// FlagSampled is the traceparent flag bit carrying the head-sampling
+// decision.
+const FlagSampled byte = 0x01
+
+// ParseTraceparent parses a traceparent header value. ok is false for
+// empty, malformed, all-zero-id, or version-ff values.
+func ParseTraceparent(s string) (traceID TraceID, spanID SpanID, flags byte, ok bool) {
+	// version(2) - trace-id(32) - parent-id(16) - flags(2) = 55 bytes
+	// minimum; future versions may append "-extra" fields.
+	if len(s) < 55 {
+		return traceID, spanID, 0, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return traceID, spanID, 0, false
+	}
+	ver, verOK := hexByte(s[0], s[1])
+	if !verOK || ver == 0xff {
+		return traceID, spanID, 0, false
+	}
+	if ver == 0 && len(s) != 55 {
+		return traceID, spanID, 0, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return traceID, spanID, 0, false
+	}
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(s[3+2*i], s[4+2*i])
+		if !ok {
+			return TraceID{}, SpanID{}, 0, false
+		}
+		traceID[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(s[36+2*i], s[37+2*i])
+		if !ok {
+			return TraceID{}, SpanID{}, 0, false
+		}
+		spanID[i] = b
+	}
+	flags, flagsOK := hexByte(s[53], s[54])
+	if !flagsOK || traceID.IsZero() || spanID.IsZero() {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	return traceID, spanID, flags, true
+}
+
+// FormatTraceparent renders the version-00 header value.
+func FormatTraceparent(traceID TraceID, spanID SpanID, flags byte) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, '0', '0', '-')
+	buf = appendHex(buf, traceID[:])
+	buf = append(buf, '-')
+	buf = appendHex(buf, spanID[:])
+	buf = append(buf, '-')
+	buf = append(buf, hexDigit(flags>>4), hexDigit(flags&0xf))
+	return string(buf)
+}
+
+// hexByte decodes two lowercase-hex characters. Uppercase is rejected:
+// the spec requires lowercase on the wire.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexVal(hi)
+	l, ok2 := hexVal(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func hexDigit(v byte) byte {
+	if v < 10 {
+		return '0' + v
+	}
+	return 'a' + v - 10
+}
+
+func appendHex(buf, src []byte) []byte {
+	for _, b := range src {
+		buf = append(buf, hexDigit(b>>4), hexDigit(b&0xf))
+	}
+	return buf
+}
