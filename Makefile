@@ -6,7 +6,7 @@ SMOKE_TRACE ?= /tmp/mrserved-smoke-trace.json
 SMOKE_ADDR  ?= 127.0.0.1:18077
 SMOKE_DEBUG ?= 127.0.0.1:18078
 
-.PHONY: all build test check race smoke bench clean
+.PHONY: all build test check race smoke bench bench-gate clean
 
 all: build
 
@@ -41,6 +41,7 @@ check:
 	$(GO) test -race ./...
 	$(GO) run ./cmd/mrbench -fig 3 -maxsize 16KB -iters 1 \
 		-faults "straggle:rank=3,factor=4;link:level=1,degrade=0.8" > /dev/null
+	$(GO) run ./cmd/mrperf smoke
 	$(MAKE) smoke
 
 # smoke boots a real mrserved with the pprof debug listener and trace
@@ -76,12 +77,29 @@ smoke:
 	rm -f /tmp/mrserved.smoke /tmp/mrtrace.smoke; \
 	echo "smoke: serving telemetry OK ($(SMOKE_TRACE))"
 
-# bench regenerates the headline benchmark numbers as a JSON stream, plus
-# the order-search fast-path comparison (full vs. equivalence-class pruned
-# ranking of the 720 depth-6 orders) as BENCH_order_search.json.
+# BENCH_SUITES are the committed trajectory baselines the regression gate
+# compares against; BENCH_GIT/BENCH_TS stamp fresh records so trajectory
+# points are attributable (CI passes the workflow's SHA explicitly).
+BENCH_SUITES ?= kernels order_search
+BENCH_GIT    ?= $(shell git rev-parse --short HEAD 2>/dev/null)
+BENCH_TS     ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# bench regenerates the committed BENCH_<suite>.json trajectory points via
+# the in-process observatory harness (5 reps each, with significance-ready
+# samples). The legacy go-test stream is kept as BENCH_1.json.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_1.json
-	$(GO) test -run '^$$' -bench 'OrderSearch|Characterize' -benchmem -json . ./internal/metrics > BENCH_order_search.json
+	@for s in $(BENCH_SUITES); do \
+		$(GO) run ./cmd/mrperf run -suite $$s -git "$(BENCH_GIT)" -ts "$(BENCH_TS)" || exit 1; \
+	done
+
+# bench-gate reruns every gated suite and compares it against the
+# committed baseline with the suite's own threshold and a Mann-Whitney
+# significance test; it exits nonzero when any benchmark regressed beyond
+# the gate. Fresh records land in /tmp for artifact upload.
+bench-gate:
+	@mkdir -p /tmp/bench-gate
+	$(GO) run ./cmd/mrperf gate -suites "$$(echo $(BENCH_SUITES) | tr ' ' ',')" \
+		-keep /tmp/bench-gate -git "$(BENCH_GIT)" -ts "$(BENCH_TS)"
 
 clean:
 	rm -f BENCH_1.json

@@ -222,8 +222,8 @@ func printSearchClasses(w io.Writer) error {
 			if _, err := advisor.Rank(context.Background(), sc, nil, advisor.RankOptions{Registry: reg}); err != nil {
 				return fmt.Errorf("%s: %w", mb.Name, err)
 			}
-			nClasses := int(reg.FindCounter("advisor_class_misses_total"))
-			total := nClasses + int(reg.FindCounter("advisor_class_hits_total"))
+			nClasses := int(reg.SumCounters("advisor_class_misses_total"))
+			total := nClasses + int(reg.SumCounters("advisor_class_hits_total"))
 			mode := "one comm "
 			if sim {
 				mode = "all comms"

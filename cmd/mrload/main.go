@@ -18,6 +18,12 @@
 // designed for. Use -spread to multiply the number of distinct advise
 // scenarios and exercise the evaluation path instead.
 //
+// -skew draws requests from a Zipf (power-law) distribution over the
+// shot pool instead of uniformly, so a handful of shapes dominate — the
+// realistic mix that exercises mapd's top-K workload analytics. -json
+// replaces the human report with a machine-readable summary for
+// experiment scripts.
+//
 // Exit status is 1 only when not a single request succeeded; a degraded
 // run with nonzero goodput exits 0 so overload experiments can record it.
 package main
@@ -28,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -294,6 +301,103 @@ func printBuckets(w io.Writer, bs []exemplarBucket) {
 	}
 }
 
+// sampler picks shot indices. With skew <= 0 it is uniform; otherwise it
+// draws from a Zipf distribution with exponent skew over the pool, so
+// index i is picked proportionally to 1/(i+1)^skew — a few shapes
+// dominate, as real traffic does.
+type sampler struct {
+	n   int
+	cum []float64 // cumulative Zipf weights; nil means uniform
+}
+
+func newSampler(n int, skew float64) *sampler {
+	s := &sampler{n: n}
+	if skew <= 0 {
+		return s
+	}
+	s.cum = make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), skew)
+		s.cum[i] = total
+	}
+	return s
+}
+
+func (s *sampler) pick(rng *rand.Rand) int {
+	if s.cum == nil {
+		return rng.Intn(s.n)
+	}
+	u := rng.Float64() * s.cum[s.n-1]
+	return sort.SearchFloat64s(s.cum, u)
+}
+
+// report is the -json summary: everything the human output prints, as
+// one object an experiment script can parse.
+type report struct {
+	OK        int64 `json:"ok"`
+	Attempts  int64 `json:"attempts"`
+	Retries   int64 `json:"retries"`
+	Shed      int64 `json:"shed_503"`
+	ServerErr int64 `json:"other_5xx"`
+	ClientErr int64 `json:"client_4xx"`
+	Transport int64 `json:"transport_errors"`
+	GaveUp    int64 `json:"gave_up"`
+
+	DurationSeconds float64 `json:"duration_seconds"`
+	Workers         int     `json:"workers"`
+	Shapes          int     `json:"shapes"`
+	Skew            float64 `json:"skew"`
+
+	GoodputReqS float64 `json:"goodput_req_s"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+
+	Buckets []bucketReport `json:"latency_buckets,omitempty"`
+}
+
+type bucketReport struct {
+	LeMs          float64 `json:"le_ms"` // 0 means +Inf
+	Count         int64   `json:"count"`
+	ExemplarTrace string  `json:"exemplar_trace,omitempty"`
+	ExemplarMs    float64 `json:"exemplar_ms,omitempty"`
+}
+
+// buildReport folds run totals into the -json summary. latencies must be
+// sorted ascending.
+func buildReport(t totals, d time.Duration, workers, shapes int, skew float64) report {
+	r := report{
+		OK: t.ok, Attempts: t.attempts, Retries: t.retries,
+		Shed: t.shed, ServerErr: t.serverErr, ClientErr: t.clientErr,
+		Transport: t.transport, GaveUp: t.gaveUp,
+		DurationSeconds: d.Seconds(), Workers: workers, Shapes: shapes, Skew: skew,
+	}
+	if r.DurationSeconds > 0 {
+		r.GoodputReqS = float64(t.ok) / r.DurationSeconds
+	}
+	if len(t.latencies) > 0 {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		r.P50Ms = ms(percentile(t.latencies, 0.50))
+		r.P90Ms = ms(percentile(t.latencies, 0.90))
+		r.P99Ms = ms(percentile(t.latencies, 0.99))
+		r.MaxMs = ms(t.latencies[len(t.latencies)-1])
+	}
+	for _, b := range t.buckets {
+		if b.count == 0 {
+			continue
+		}
+		r.Buckets = append(r.Buckets, bucketReport{
+			LeMs:          float64(b.le) / float64(time.Millisecond),
+			Count:         b.count,
+			ExemplarTrace: b.exemplarID,
+			ExemplarMs:    float64(b.exemplarLat) / float64(time.Millisecond),
+		})
+	}
+	return r
+}
+
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
@@ -313,9 +417,12 @@ func main() {
 	maxBackoff := flag.Duration("maxbackoff", 1*time.Second, "retry backoff cap")
 	traceparent := flag.String("traceparent", "",
 		`traceparent injection: empty = none, "auto" = fresh sampled trace per request, else sent verbatim`)
+	skew := flag.Float64("skew", 0, "Zipf exponent for the shot mix (0 = uniform; 1.2 ≈ real-traffic skew)")
+	jsonOut := flag.Bool("json", false, "print a machine-readable JSON summary instead of the human report")
 	flag.Parse()
 
 	shots := workload(*spread)
+	smp := newSampler(len(shots), *skew)
 	transport := &http.Transport{
 		MaxIdleConns:        *conc * 2,
 		MaxIdleConnsPerHost: *conc * 2,
@@ -337,7 +444,7 @@ func main() {
 				rng := rand.New(rand.NewSource(seed))
 				var mine totals
 				for time.Now().Before(deadline) {
-					s := shots[rng.Intn(len(shots))]
+					s := shots[smp.pick(rng)]
 					tp := *traceparent
 					if tp == "auto" {
 						tp, _ = rt.ClientTraceparent(rng)
@@ -362,6 +469,19 @@ func main() {
 	}
 	t := run(*dur, true)
 	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(buildReport(t, *dur, *conc, len(shots), *skew)); err != nil {
+			fmt.Fprintln(os.Stderr, "mrload:", err)
+			os.Exit(1)
+		}
+		if t.ok == 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	elapsed := dur.Seconds()
 	fmt.Printf("mrload: %d ok of %d attempts in %s with %d workers over %d request shapes\n",

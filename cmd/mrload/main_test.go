@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -216,5 +217,75 @@ func TestTotalsCollectExemplarBuckets(t *testing.T) {
 	printBuckets(&buf, all.buckets)
 	if !strings.Contains(buf.String(), "t1") || !strings.Contains(buf.String(), "t2") {
 		t.Fatalf("merged exemplars missing:\n%s", buf.String())
+	}
+}
+
+func TestSamplerUniformWhenNoSkew(t *testing.T) {
+	s := newSampler(10, 0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 10)
+	for i := 0; i < 10_000; i++ {
+		counts[s.pick(rng)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("uniform sampler index %d got %d of 10000, want ~1000", i, c)
+		}
+	}
+}
+
+func TestSamplerSkewConcentrates(t *testing.T) {
+	s := newSampler(100, 1.2)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	n := 20_000
+	for i := 0; i < n; i++ {
+		idx := s.pick(rng)
+		if idx < 0 || idx >= 100 {
+			t.Fatalf("sampler returned out-of-range index %d", idx)
+		}
+		counts[idx]++
+	}
+	// Zipf(1.2) over 100 items puts >35% of mass on the top 3 indices; a
+	// uniform draw would give them 3%.
+	top3 := counts[0] + counts[1] + counts[2]
+	if got := float64(top3) / float64(n); got < 0.30 {
+		t.Fatalf("skewed sampler top-3 share = %.2f, want > 0.30", got)
+	}
+	// And the distribution must be monotone-ish: the first index beats the
+	// fiftieth by a wide margin.
+	if counts[0] < 4*counts[49] {
+		t.Fatalf("counts[0]=%d not ≫ counts[49]=%d", counts[0], counts[49])
+	}
+}
+
+func TestBuildReportJSON(t *testing.T) {
+	var tt totals
+	tt.ok, tt.attempts, tt.retries, tt.shed = 90, 100, 10, 7
+	tt.latencies = []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 100 * time.Millisecond,
+	}
+	tt.buckets = newExemplarBuckets()
+	observe(tt.buckets, 2*time.Millisecond, "abc")
+	rep := buildReport(tt, 2*time.Second, 8, 42, 1.2)
+	if rep.GoodputReqS != 45 {
+		t.Fatalf("goodput = %v, want 45", rep.GoodputReqS)
+	}
+	if rep.P50Ms != 2 || rep.MaxMs != 100 {
+		t.Fatalf("p50 = %v, max = %v", rep.P50Ms, rep.MaxMs)
+	}
+	if rep.Skew != 1.2 || rep.Workers != 8 || rep.Shapes != 42 {
+		t.Fatalf("config echo wrong: %+v", rep)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Shed != 7 || len(back.Buckets) != 1 || back.Buckets[0].ExemplarTrace != "abc" {
+		t.Fatalf("round-trip lost fields: %+v", back)
 	}
 }

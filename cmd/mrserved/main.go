@@ -58,6 +58,7 @@ type options struct {
 	timeout     time.Duration
 	maxBody     int64
 	maxInflight int
+	statClasses int
 	announce    time.Duration
 	drain       time.Duration
 }
@@ -75,6 +76,7 @@ func buildServers(o options) (*mapd.Server, *http.Server, *rt.Tracer) {
 		MaxBody:       o.maxBody,
 		Timeout:       o.timeout,
 		MaxInflight:   o.maxInflight,
+		StatsClasses:  o.statClasses,
 		Tracer:        tracer,
 		Logger:        logger,
 	})
@@ -166,6 +168,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-evaluation budget")
 	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "maximum request body in bytes")
 	flag.IntVar(&o.maxInflight, "max-inflight", 512, "in-flight request cap before shedding (negative disables)")
+	flag.IntVar(&o.statClasses, "stats-classes", mapd.DefaultStatsClasses, "shape classes tracked by /v1/stats (Space-Saving top-K)")
 	flag.DurationVar(&o.announce, "announce", 500*time.Millisecond, "drain announcement window before the listener closes")
 	flag.DurationVar(&o.drain, "drain", 5*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()

@@ -47,12 +47,13 @@ func main() {
 	open := flag.String("open", "", "summarize this trace-event JSON file instead of running a scenario")
 	outDir := flag.String("o", ".", "directory for trace.json, metrics.prom, metrics.csv")
 	topK := flag.Int("topk", 10, "operations to show in the flame summary")
+	top := flag.Int("top", 0, "also print the N slowest spans per track (0 disables)")
 	p2p := flag.Bool("p2p", false, "also record one instant event per point-to-point send")
 	blockSpans := flag.Bool("blockspans", false, "also record engine block/wake spans (verbose)")
 	flag.Parse()
 
 	if *open != "" {
-		if err := openTrace(os.Stdout, *open, *topK); err != nil {
+		if err := openTrace(os.Stdout, *open, *topK, *top); err != nil {
 			fmt.Fprintln(os.Stderr, "mrtrace:", err)
 			os.Exit(1)
 		}
@@ -117,7 +118,8 @@ func main() {
 // openTrace loads an existing trace-event JSON file and prints its run
 // metadata, track inventory, and the flame summary — the read side of the
 // serving-telemetry loop: mrserved -trace writes, mrtrace -open drills in.
-func openTrace(w io.Writer, path string, topK int) error {
+// With top > 0 it appends the per-track slowest-span listing.
+func openTrace(w io.Writer, path string, topK, top int) error {
 	sc, err := obs.ReadTraceFile(path)
 	if err != nil {
 		return err
@@ -137,6 +139,10 @@ func openTrace(w io.Writer, path string, topK int) error {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprint(w, obs.Summary(sc, topK))
+	if top > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, obs.FormatTopSpans(obs.TopSpans(sc, top)))
+	}
 	return nil
 }
 

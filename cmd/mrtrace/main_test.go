@@ -46,7 +46,7 @@ func TestOpenSampledServerTraceGolden(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := openTrace(&buf, path, 10); err != nil {
+	if err := openTrace(&buf, path, 10, 0); err != nil {
 		t.Fatal(err)
 	}
 	first, rest, _ := strings.Cut(buf.String(), "\n")
@@ -83,7 +83,60 @@ func TestOpenSampledServerTraceGolden(t *testing.T) {
 }
 
 func TestOpenTraceMissingFile(t *testing.T) {
-	if err := openTrace(&bytes.Buffer{}, filepath.Join(t.TempDir(), "nope.json"), 5); err == nil {
+	if err := openTrace(&bytes.Buffer{}, filepath.Join(t.TempDir(), "nope.json"), 5, 0); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestTopSpansPerTrackGolden exercises mrtrace -top: a deterministic
+// two-request trace is written to disk, reloaded, and the per-track
+// slowest-span listing is compared to a golden.
+func TestTopSpansPerTrackGolden(t *testing.T) {
+	now := time.Unix(2000, 0)
+	step := func() time.Time { now = now.Add(5 * time.Millisecond); return now }
+	var ctr uint64
+	tr := rt.NewTracer(rt.Options{Service: "mrserved", SampleRatio: 1,
+		Now: step, Rand: func() uint64 { ctr++; return ctr }})
+
+	for _, name := range []string{"http /v1/map", "http /v1/advise"} {
+		ctx, root := tr.StartRequest(context.Background(), name, "")
+		_, lookup := rt.StartSpan(ctx, "cache.lookup")
+		lookup.End()
+		_, eval := rt.StartSpan(ctx, "evaluate")
+		eval.SetAttr("orders", 24)
+		eval.End()
+		root.SetAttr("http_status", 200)
+		root.End()
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := obs.WriteTraceFile(path, tr.Scope()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := openTrace(&buf, path, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The -top listing is everything after the flame summary's blank line.
+	i := strings.Index(out, "track ")
+	if i < 0 {
+		t.Fatalf("-top produced no per-track listing:\n%s", out)
+	}
+	listing := out[i:]
+
+	golden := filepath.Join("testdata", "top_spans.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(listing), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/mrtrace -run Golden -update)", err)
+	}
+	if listing != string(want) {
+		t.Fatalf("-top listing drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", listing, want)
 	}
 }

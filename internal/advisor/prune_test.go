@@ -100,17 +100,24 @@ func TestRankRecordsSearchMetrics(t *testing.T) {
 		CommSize:  4,
 		Bytes:     1 << 20,
 	}
-	ranked, err := Rank(context.Background(), sc, nil, RankOptions{Registry: reg})
+	var stats RankStats
+	ranked, err := Rank(context.Background(), sc, nil, RankOptions{
+		Registry: reg,
+		OnStats:  func(s RankStats) { stats = s },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ranked) != 24 {
 		t.Fatalf("got %d predictions, want 24", len(ranked))
 	}
-	hits := reg.FindCounter("advisor_class_hits_total")
-	misses := reg.FindCounter("advisor_class_misses_total")
+	// Class sharing collapsed the symmetric search, so everything is
+	// labeled mode="pruned"; the unlabeled series must not exist.
+	ml := obs.L("mode", ModePruned)
+	hits := reg.FindCounter("advisor_class_hits_total", ml)
+	misses := reg.FindCounter("advisor_class_misses_total", ml)
 	if hits+misses != 24 {
-		t.Fatalf("hits %v + misses %v != 24 orders", hits, misses)
+		t.Fatalf("pruned hits %v + misses %v != 24 orders", hits, misses)
 	}
 	if misses >= 24 {
 		t.Fatalf("no pruning on a fully symmetric hierarchy: %v misses", misses)
@@ -118,13 +125,72 @@ func TestRankRecordsSearchMetrics(t *testing.T) {
 	if hits == 0 {
 		t.Fatalf("expected class hits on a symmetric hierarchy")
 	}
+	if unlabeled := reg.FindCounter("advisor_class_hits_total"); unlabeled != 0 {
+		t.Fatalf("unlabeled class-hit counter exists: %v", unlabeled)
+	}
 	found := false
 	for _, p := range reg.Snapshot() {
 		if p.Name == "advisor_search_seconds" && p.Type == "histogram" && p.Count == 1 {
+			if !hasModeLabel(p.Labels, ModePruned) {
+				t.Fatalf("search histogram missing mode label: %+v", p)
+			}
 			found = true
 		}
 	}
 	if !found {
 		t.Fatalf("advisor_search_seconds histogram not observed: %+v", reg.Snapshot())
+	}
+	if stats.Mode != ModePruned {
+		t.Fatalf("OnStats mode = %q, want pruned", stats.Mode)
+	}
+	if stats.Orders != 24 || stats.Classes != int(misses) {
+		t.Fatalf("OnStats = %+v, want Orders=24 Classes=%v", stats, misses)
+	}
+	if stats.Elapsed <= 0 {
+		t.Fatalf("OnStats elapsed = %v", stats.Elapsed)
+	}
+}
+
+func hasModeLabel(labels []obs.Label, mode string) bool {
+	for _, l := range labels {
+		if l.Key == "mode" && l.Value == mode {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRankExactModeWhenNoSharing verifies the mode semantics: disabling
+// pruning — or a grid where every order is its own class — reports
+// mode="exact", never "pruned".
+func TestRankExactModeWhenNoSharing(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := Scenario{
+		Spec:      cluster.Hydra(16, 1),
+		Hierarchy: topology.MustNew(2, 2, 2, 2),
+		Coll:      Alltoall,
+		CommSize:  4,
+		Bytes:     1 << 20,
+	}
+	var stats RankStats
+	if _, err := Rank(context.Background(), sc, nil, RankOptions{
+		Registry: reg,
+		NoPrune:  true,
+		OnStats:  func(s RankStats) { stats = s },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mode != ModeExact {
+		t.Fatalf("OnStats mode = %q, want exact", stats.Mode)
+	}
+	if stats.Orders != 24 || stats.Classes != 24 {
+		t.Fatalf("OnStats = %+v, want Orders=Classes=24", stats)
+	}
+	ml := obs.L("mode", ModeExact)
+	if misses := reg.FindCounter("advisor_class_misses_total", ml); misses != 24 {
+		t.Fatalf("exact-mode misses = %v, want 24", misses)
+	}
+	if hits := reg.FindCounter("advisor_class_hits_total", ml); hits != 0 {
+		t.Fatalf("exact-mode hits = %v, want 0", hits)
 	}
 }

@@ -37,8 +37,36 @@ type RankOptions struct {
 	// Registry, when non-nil, receives search observability: the
 	// advisor_class_hits_total / advisor_class_misses_total counters (orders
 	// served from a class representative vs. representatives evaluated) and
-	// the advisor_search_seconds latency histogram.
+	// the advisor_search_seconds latency histogram. All three carry a
+	// mode label ("exact" or "pruned"; the service adds "fallback" for
+	// breaker-open heuristic answers it serves itself).
 	Registry *obs.Registry
+	// OnStats, when non-nil, receives one RankStats per completed search —
+	// the hook the service's workload analytics use to attribute a request
+	// to its search mode without re-deriving it.
+	OnStats func(RankStats)
+}
+
+// Search modes, as labeled on the advisor metrics and reported through
+// RankStats. A search is "pruned" only when equivalence-class grouping
+// actually shared evaluations; a grouping that degenerates to one class
+// per order did exact work and is labeled accordingly. "fallback" is
+// never produced by Rank itself: it marks the service's breaker-open
+// heuristic ranking.
+const (
+	ModeExact    = "exact"
+	ModePruned   = "pruned"
+	ModeFallback = "fallback"
+)
+
+// RankStats summarizes one completed search.
+type RankStats struct {
+	// Mode is ModeExact or ModePruned.
+	Mode string
+	// Orders is the candidate count, Classes the evaluations performed.
+	Orders, Classes int
+	// Elapsed is the wall-clock search duration.
+	Elapsed time.Duration
 }
 
 func (o RankOptions) workers(n int) int {
@@ -125,11 +153,19 @@ func Rank(ctx context.Context, sc Scenario, orders [][]int, opts RankOptions) ([
 			}
 		}
 	}
+	mode := ModeExact
+	if len(groups) < n {
+		mode = ModePruned
+	}
 	if opts.Registry != nil {
-		opts.Registry.Counter("advisor_class_misses_total").AddInt(int64(len(groups)))
-		opts.Registry.Counter("advisor_class_hits_total").AddInt(int64(n - len(groups)))
-		opts.Registry.Histogram("advisor_search_seconds", obs.SearchBuckets()).
+		ml := obs.L("mode", mode)
+		opts.Registry.Counter("advisor_class_misses_total", ml).AddInt(int64(len(groups)))
+		opts.Registry.Counter("advisor_class_hits_total", ml).AddInt(int64(n - len(groups)))
+		opts.Registry.Histogram("advisor_search_seconds", obs.SearchBuckets(), ml).
 			Observe(time.Since(start).Seconds())
+	}
+	if opts.OnStats != nil {
+		opts.OnStats(RankStats{Mode: mode, Orders: n, Classes: len(groups), Elapsed: time.Since(start)})
 	}
 	sortPredictions(out)
 	return out, nil

@@ -71,6 +71,10 @@ type Config struct {
 	// SLO tracks rolling burn rates per endpoint (default: a tracker with
 	// rt.SLOOptions defaults). Fast-burning SLOs degrade /healthz.
 	SLO *rt.SLOTracker
+	// StatsClasses is the Space-Saving capacity K of the workload
+	// analytics behind GET /v1/stats: at most this many shape classes are
+	// tracked individually (default DefaultStatsClasses).
+	StatsClasses int
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +120,7 @@ type Server struct {
 	breaker *breaker // nil when disabled
 	slo     *rt.SLOTracker
 	logger  *slog.Logger
+	stats   *workloadStats
 
 	inflightN atomic.Int64 // shedding decision
 	draining  atomic.Bool
@@ -141,11 +146,38 @@ func New(cfg Config) *Server {
 		reg:       cfg.Registry,
 		slo:       cfg.SLO,
 		logger:    cfg.Logger,
+		stats:     newWorkloadStats(cfg.StatsClasses),
 		inflight:  cfg.Registry.Gauge("mapd_inflight_requests"),
 		shared:    cfg.Registry.Counter("mapd_singleflight_shared_total"),
 		evals:     cfg.Registry.Counter("mapd_advise_evals_total"),
 		shed:      cfg.Registry.Counter("mapd_shed_total"),
 		fallbacks: cfg.Registry.Counter("mapd_advise_fallback_total"),
+	}
+	for name, help := range map[string]string{
+		"mapd_requests_total":                  "Requests served, by endpoint and HTTP status code.",
+		"mapd_request_seconds":                 "End-to-end request latency, by endpoint.",
+		"mapd_cache_hits_total":                "Result-cache hits, by endpoint.",
+		"mapd_cache_misses_total":              "Result-cache misses, by endpoint.",
+		"mapd_inflight_requests":               "Requests currently being served.",
+		"mapd_singleflight_shared_total":       "Evaluations shared between concurrent identical requests.",
+		"mapd_advise_evals_total":              "Full advisor order-search evaluations started.",
+		"mapd_shed_total":                      "Requests shed by the in-flight cap.",
+		"mapd_advise_fallback_total":           "Advise answers served by the breaker-open heuristic.",
+		"mapd_breaker_state":                   "Advisor circuit breaker state (0 closed, 1 open, 2 half-open).",
+		"advisor_search_seconds":               "Order-search latency, by search mode (exact/pruned/fallback).",
+		"advisor_class_hits_total":             "Orders served from an equivalence-class representative, by search mode.",
+		"advisor_class_misses_total":           "Order evaluations actually performed, by search mode.",
+		"mapd_stats_class_requests":            "Workload analytics: requests by canonical shape class (Space-Saving top-K).",
+		"mapd_stats_class_hit_rate":            "Workload analytics: cache hit rate by canonical shape class.",
+		"mapd_stats_depth_requests":            "Workload analytics: requests by hierarchy depth.",
+		"mapd_stats_collective_requests":       "Workload analytics: advise requests by collective.",
+		"mapd_stats_search_requests":           "Workload analytics: order searches by mode (exact/pruned/fallback).",
+		"mapd_stats_tracked_classes":           "Workload analytics: shape classes currently tracked (≤ K).",
+		"mapd_stats_distinct_classes_estimate": "Workload analytics: sketch estimate of distinct shape classes seen.",
+		"mapd_stats_class_evictions":           "Workload analytics: top-K evictions (count-error churn indicator).",
+		"mapd_stats_cache_hit_rate":            "Workload analytics: overall cache hit rate.",
+	} {
+		cfg.Registry.SetHelp(name, help)
 	}
 	s.flight.onShared = func() { s.shared.Add(1) }
 	if cfg.BreakerThreshold > 0 {
@@ -175,6 +207,7 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 //	POST /v1/select         --cpu-bind=map_cpu core list (Algorithm 3)
 //	POST /v1/metrics/order  ring cost & pairs per level (§3.3)
 //	GET  /metrics           Prometheus exposition of the registry
+//	GET  /v1/stats          cardinality-bounded workload analytics
 //	GET  /v1/slo            rolling SLO burn rates per endpoint
 //	GET  /healthz           liveness probe
 //
@@ -183,32 +216,37 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // SLO recording.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/map", s.serve("map", func(body []byte) (string, computeFunc, error) {
+	mux.HandleFunc("/v1/map", s.serve("map", func(body []byte) (string, computeFunc, *statInfo, error) {
 		var req MapRequest
 		if err := decodeStrict(body, &req); err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		q, err := req.parse()
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
-		return q.Key(), func(context.Context) (any, error) { return evalMap(q) }, nil
+		info := &statInfo{shape: q.arities}
+		return q.Key(), func(context.Context) (any, error) { return evalMap(q) }, info, nil
 	}))
-	mux.HandleFunc("/v1/advise", s.serveGuarded("advise", func(body []byte) (string, computeFunc, computeFunc, error) {
+	mux.HandleFunc("/v1/advise", s.serveGuarded("advise", func(body []byte) (string, computeFunc, computeFunc, *statInfo, error) {
 		var req AdviseRequest
 		if err := decodeStrict(body, &req); err != nil {
-			return "", nil, nil, err
+			return "", nil, nil, nil, err
 		}
 		q, err := req.parse()
 		if err != nil {
-			return "", nil, nil, err
+			return "", nil, nil, nil, err
 		}
 		compute := func(ctx context.Context) (any, error) {
 			if s.AdviseHook != nil {
 				s.AdviseHook()
 			}
 			s.evals.Add(1)
-			resp, err := evalAdvise(ctx, q, advisor.RankOptions{Workers: s.cfg.AdviseWorkers, Registry: s.reg})
+			resp, err := evalAdvise(ctx, q, advisor.RankOptions{
+				Workers:  s.cfg.AdviseWorkers,
+				Registry: s.reg,
+				OnStats:  func(rs advisor.RankStats) { s.stats.observeSearch(rs.Mode) },
+			})
 			if s.breaker != nil {
 				// Client errors say nothing about the service's health.
 				s.breaker.Record(err == nil || errors.Is(err, ErrBadRequest))
@@ -216,29 +254,32 @@ func (s *Server) Handler() http.Handler {
 			return resp, err
 		}
 		fallback := func(context.Context) (any, error) { return evalAdviseFallback(q) }
-		return q.Key(), compute, fallback, nil
+		info := &statInfo{shape: q.spec.Hierarchy().Arities(), coll: string(q.coll)}
+		return q.Key(), compute, fallback, info, nil
 	}))
-	mux.HandleFunc("/v1/select", s.serve("select", func(body []byte) (string, computeFunc, error) {
+	mux.HandleFunc("/v1/select", s.serve("select", func(body []byte) (string, computeFunc, *statInfo, error) {
 		var req SelectRequest
 		if err := decodeStrict(body, &req); err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		q, err := req.parse()
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
-		return q.Key(), func(context.Context) (any, error) { return evalSelect(q) }, nil
+		info := &statInfo{shape: q.arities}
+		return q.Key(), func(context.Context) (any, error) { return evalSelect(q) }, info, nil
 	}))
-	mux.HandleFunc("/v1/metrics/order", s.serve("metrics_order", func(body []byte) (string, computeFunc, error) {
+	mux.HandleFunc("/v1/metrics/order", s.serve("metrics_order", func(body []byte) (string, computeFunc, *statInfo, error) {
 		var req OrderMetricsRequest
 		if err := decodeStrict(body, &req); err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		q, err := req.parse()
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
-		return q.Key(), func(context.Context) (any, error) { return evalOrderMetrics(q) }, nil
+		info := &statInfo{shape: q.arities}
+		return q.Key(), func(context.Context) (any, error) { return evalOrderMetrics(q) }, info, nil
 	}))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -246,8 +287,21 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		s.slo.Publish(s.reg)
+		s.stats.publish(s.reg)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = obs.WritePrometheus(w, s.reg)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(r.Context(), w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		b, err := json.Marshal(s.stats.report())
+		if err != nil {
+			writeError(r.Context(), w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, append(b, '\n'))
 	})
 	mux.HandleFunc("/v1/slo", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -371,13 +425,14 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 // computeFunc evaluates one parsed request.
 type computeFunc func(ctx context.Context) (any, error)
 
-// parseFunc turns a request body into a canonical cache key and a compute
-// closure. Returned errors are client errors.
-type parseFunc func(body []byte) (string, computeFunc, error)
+// parseFunc turns a request body into a canonical cache key, a compute
+// closure, and the workload-analytics attribution of the request.
+// Returned errors are client errors.
+type parseFunc func(body []byte) (string, computeFunc, *statInfo, error)
 
 // guardedParseFunc additionally yields a cheap fallback evaluation served
 // (uncached) while the endpoint's circuit breaker is open.
-type guardedParseFunc func(body []byte) (string, computeFunc, computeFunc, error)
+type guardedParseFunc func(body []byte) (string, computeFunc, computeFunc, *statInfo, error)
 
 // decodeStrict unmarshals JSON rejecting unknown fields and trailing data,
 // so typos fail loudly instead of silently evaluating defaults.
@@ -397,9 +452,9 @@ func decodeStrict(body []byte, v any) error {
 // method check, body limit, parse, cache lookup, singleflight evaluation,
 // metrics.
 func (s *Server) serve(name string, parse parseFunc) http.HandlerFunc {
-	return s.serveGuarded(name, func(body []byte) (string, computeFunc, computeFunc, error) {
-		key, compute, err := parse(body)
-		return key, compute, nil, err
+	return s.serveGuarded(name, func(body []byte) (string, computeFunc, computeFunc, *statInfo, error) {
+		key, compute, info, err := parse(body)
+		return key, compute, nil, info, err
 	})
 }
 
@@ -413,12 +468,21 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 		s.inflight.Add(1)
 		n := s.inflightN.Add(1)
 		code := http.StatusOK
+		var (
+			info     *statInfo
+			cacheHit bool
+		)
 		defer func() {
 			s.inflightN.Add(-1)
 			s.inflight.Add(-1)
 			latency.Observe(time.Since(start).Seconds())
 			s.reg.Counter("mapd_requests_total",
 				obs.L("endpoint", name), obs.L("code", strconv.Itoa(code))).Add(1)
+			if code == http.StatusOK {
+				// Only parsed, successfully served requests reach the
+				// workload analytics; rejects carry no shape to attribute.
+				s.stats.observe(info, cacheHit, time.Since(start))
+			}
 		}()
 		if s.draining.Load() {
 			w.Header().Set("Retry-After", "1")
@@ -447,16 +511,18 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 			}
 			return
 		}
-		key, compute, fallback, err := parse(body)
+		key, compute, fallback, pinfo, err := parse(body)
 		if err != nil {
 			code = writeError(ctx, w, http.StatusBadRequest, clientMessage(err))
 			return
 		}
+		info = pinfo
 		_, lookup := rt.StartSpan(ctx, "cache.lookup")
 		cached, ok := s.cache.Get(key)
 		lookup.SetAttr("hit", b2i(ok))
 		lookup.End()
 		if ok {
+			cacheHit = true
 			hits.Add(1)
 			writeJSON(w, cached)
 			return
@@ -466,6 +532,7 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 			// Breaker open: answer from the cheap heuristic, uncached so a
 			// recovered breaker re-evaluates the real search.
 			s.fallbacks.Add(1)
+			fstart := time.Now()
 			fctx, fsp := rt.StartSpan(ctx, "advise.fallback")
 			resp, ferr := fallback(fctx)
 			if ferr != nil {
@@ -479,6 +546,16 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 			if ferr != nil {
 				code = writeError(ctx, w, http.StatusInternalServerError, ferr.Error())
 				return
+			}
+			// The heuristic is an order search too: label its latency and
+			// per-order cost mode="fallback", alongside the advisor's own
+			// exact/pruned series, so dashboards see the full mode split.
+			if ar, ok := resp.(*AdviseResponse); ok {
+				ml := obs.L("mode", advisor.ModeFallback)
+				s.reg.Counter("advisor_class_misses_total", ml).AddInt(int64(ar.Evaluated))
+				s.reg.Histogram("advisor_search_seconds", obs.SearchBuckets(), ml).
+					Observe(time.Since(fstart).Seconds())
+				s.stats.observeSearch(advisor.ModeFallback)
 			}
 			writeJSON(w, append(b, '\n'))
 			return

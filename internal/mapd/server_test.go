@@ -385,13 +385,21 @@ func TestAdviseSearchMetricsExposed(t *testing.T) {
 		t.Fatalf("advise status %d, body %s", code, body)
 	}
 
-	hits := reg.FindCounter("advisor_class_hits_total")
-	misses := reg.FindCounter("advisor_class_misses_total")
+	hits := reg.SumCounters("advisor_class_hits_total")
+	misses := reg.SumCounters("advisor_class_misses_total")
 	if hits+misses != 24 {
 		t.Errorf("class hits %v + misses %v, want 4! = 24 candidates", hits, misses)
 	}
 	if hits == 0 {
 		t.Errorf("expected class hits on hydra's symmetric hierarchy, got 0")
+	}
+	// Class sharing happened, so every series is labeled mode="pruned" and
+	// the unlabeled series must not exist.
+	if v := reg.FindCounter("advisor_class_hits_total", obs.L("mode", "pruned")); v != hits {
+		t.Errorf("pruned-labeled hits %v, want all %v", v, hits)
+	}
+	if v := reg.FindCounter("advisor_class_hits_total"); v != 0 {
+		t.Errorf("unlabeled class-hit counter exists: %v", v)
 	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -404,7 +412,8 @@ func TestAdviseSearchMetricsExposed(t *testing.T) {
 		"# TYPE advisor_class_hits_total counter",
 		"# TYPE advisor_class_misses_total counter",
 		"# TYPE advisor_search_seconds histogram",
-		"advisor_search_seconds_count 1",
+		`advisor_class_hits_total{mode="pruned"}`,
+		`advisor_search_seconds_count{mode="pruned"} 1`,
 	} {
 		if !bytes.Contains(b, []byte(want)) {
 			t.Errorf("/metrics missing %q", want)

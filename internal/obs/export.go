@@ -5,27 +5,80 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
-// promLabels renders a label set in exposition syntax ("" when empty).
+// promEscapeValue escapes a label value for the exposition format:
+// backslash, double quote, and newline — and nothing else. Go's %q is
+// deliberately not used here: it would turn valid UTF-8 label values
+// into \u escapes Prometheus parsers reject.
+func promEscapeValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP text: backslash and newline only (quotes
+// are legal in help text).
+func promEscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders a label set in exposition syntax ("" when empty),
+// keys sorted, values escaped.
 func promLabels(labels []Label, extra ...Label) string {
 	all := append(append([]Label(nil), labels...), extra...)
 	if len(all) == 0 {
 		return ""
 	}
-	return labelString(all)
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // WritePrometheus writes every metric in the Prometheus text exposition
-// format (version 0.0.4): one # TYPE header per metric name, histograms
-// expanded into cumulative _bucket/_sum/_count series. Output is sorted
-// and deterministic for a deterministic registry.
+// format (version 0.0.4): one # HELP (when registered via SetHelp) and
+// one # TYPE header per metric name, histograms expanded into cumulative
+// _bucket/_sum/_count series. Output is sorted and deterministic for a
+// deterministic registry.
 func WritePrometheus(w io.Writer, r *Registry) error {
 	pts := r.Snapshot()
 	typed := map[string]bool{}
 	for _, p := range pts {
 		if !typed[p.Name] {
+			if help := r.help(p.Name); help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, promEscapeHelp(help)); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Type); err != nil {
 				return err
 			}

@@ -1,0 +1,332 @@
+// A promtool-style lint of the text exposition: instead of asserting a
+// handful of substrings, these tests parse every line WritePrometheus
+// produces against the format's grammar and check the structural
+// invariants a real Prometheus scraper enforces — metric and label name
+// charsets, label value escaping, HELP/TYPE placement, histogram bucket
+// ordering and cumulativity, and series uniqueness.
+
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRe splits "name{labels} value" / "name value".
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$`)
+)
+
+// parseLabelSet walks a {k="v",...} block, undoing exposition escapes.
+// It fails the test on any syntax a Prometheus parser would reject.
+func parseLabelSet(t *testing.T, s string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	if s == "" {
+		return out
+	}
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		t.Fatalf("label block not braced: %q", s)
+	}
+	body := s[1 : len(s)-1]
+	i := 0
+	for i < len(body) {
+		j := strings.IndexByte(body[i:], '=')
+		if j < 0 {
+			t.Fatalf("label block missing '=': %q", body[i:])
+		}
+		name := body[i : i+j]
+		if !labelNameRe.MatchString(name) {
+			t.Fatalf("bad label name %q in %q", name, s)
+		}
+		i += j + 1
+		if i >= len(body) || body[i] != '"' {
+			t.Fatalf("label value not quoted at %q", body[i:])
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				t.Fatalf("unterminated label value in %q", s)
+			}
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					t.Fatalf("dangling backslash in %q", s)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					t.Fatalf("illegal escape \\%c in %q", body[i+1], s)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				t.Fatalf("raw newline inside label value in %q", s)
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			t.Fatalf("duplicate label %q in %q", name, s)
+		}
+		out[name] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				t.Fatalf("expected ',' after label in %q, got %q", s, body[i:])
+			}
+			i++
+		}
+	}
+	return out
+}
+
+type promSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// lintExposition parses a full exposition, failing on any grammar or
+// structure violation, and returns the samples.
+func lintExposition(t *testing.T, out string) []promSeries {
+	t.Helper()
+	typeOf := map[string]string{}
+	helped := map[string]bool{}
+	seen := map[string]bool{}
+	var samples []promSeries
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			if helped[name] {
+				t.Fatalf("duplicate HELP for %s", name)
+			}
+			if _, typedAlready := typeOf[name]; typedAlready {
+				t.Fatalf("HELP for %s after its TYPE line", name)
+			}
+			helped[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !metricNameRe.MatchString(fields[0]) {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("unknown type %q in %q", fields[1], line)
+			}
+			if _, dup := typeOf[fields[0]]; dup {
+				t.Fatalf("duplicate TYPE for %s", fields[0])
+			}
+			typeOf[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line: %q", line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		name, labelBlock, valStr := m[1], m[2], m[3]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := typeOf[name]; !ok {
+			if _, ok := typeOf[base]; !ok {
+				t.Fatalf("sample %q precedes its TYPE line", line)
+			}
+		}
+		var value float64
+		if valStr == "+Inf" || valStr == "-Inf" || valStr == "NaN" {
+			t.Fatalf("non-finite sample value in %q", line)
+		}
+		value, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		labels := parseLabelSet(t, labelBlock)
+		key := name + fmt.Sprint(labels)
+		if seen[key] {
+			t.Fatalf("duplicate series: %q", line)
+		}
+		seen[key] = true
+		samples = append(samples, promSeries{name: name, labels: labels, value: value})
+	}
+	return samples
+}
+
+// fullRegistry populates every metric kind with exposition-hostile label
+// values: quotes, backslashes, newlines, UTF-8, and '}' inside values.
+func fullRegistry() *Registry {
+	r := NewRegistry()
+	r.SetHelp("lint_requests_total", `Requests with "quotes" and a \ backslash.`)
+	r.SetHelp("lint_seconds", "Multi-line\nhelp text.")
+	r.Counter("lint_requests_total", L("path", `/v1/"quoted"`)).Add(3)
+	r.Counter("lint_requests_total", L("path", `back\slash`)).Add(1)
+	r.Counter("lint_requests_total", L("path", "new\nline")).Add(1)
+	r.Counter("lint_requests_total", L("path", "héllo✓")).Add(2)
+	r.Counter("lint_requests_total", L("path", "brace}й")).Add(2)
+	r.Gauge("lint_temperature", L("室", "x")) // invalid label name must be caught by the lint
+	h := r.Histogram("lint_seconds", []float64{0.001, 0.01, 0.1, 1}, L("op", "scan"))
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+	return r
+}
+
+func TestPrometheusExpositionLints(t *testing.T) {
+	r := fullRegistry()
+	// Drop the deliberately-invalid gauge for the clean-pass test.
+	delete(r.gauges, "lint_temperature"+labelString([]Label{L("室", "x")}))
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	samples := lintExposition(t, buf.String())
+	// Escaping must round-trip: the parser's unescaped values equal the
+	// originals.
+	wantPaths := map[string]float64{
+		`/v1/"quoted"`: 3,
+		`back\slash`:   1,
+		"new\nline":    1,
+		"héllo✓":       2,
+		"brace}й":      2,
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		if s.name == "lint_requests_total" {
+			got[s.labels["path"]] = s.value
+		}
+	}
+	for path, want := range wantPaths {
+		if got[path] != want {
+			t.Errorf("path %q round-tripped to value %v, want %v (have %v)", path, got[path], want, got)
+		}
+	}
+}
+
+func TestPrometheusLintCatchesBadLabelName(t *testing.T) {
+	// The lint itself must reject what a scraper rejects; this guards the
+	// test harness against rotting into a rubber stamp.
+	r := NewRegistry()
+	r.Gauge("g", L("bad-label", "x")).Set(1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	mock := &testing.T{}
+	done := make(chan bool, 1)
+	go func() {
+		defer func() { done <- mock.Failed() }()
+		lintExposition(mock, buf.String())
+	}()
+	if failed := <-done; !failed {
+		t.Fatal("lint accepted an invalid label name")
+	}
+}
+
+func TestPrometheusHistogramStructure(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.001, 0.01, 0.1, 1}, L("ep", "x"))
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 0.5, 10} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	samples := lintExposition(t, buf.String())
+
+	var (
+		bounds  []float64
+		counts  []float64
+		sum     = -1.0
+		count   = -1.0
+		infSeen bool
+	)
+	for _, s := range samples {
+		switch s.name {
+		case "lat_seconds_bucket":
+			le := s.labels["le"]
+			if le == "+Inf" {
+				infSeen = true
+				bounds = append(bounds, 1e308)
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("bad le %q", le)
+				}
+				bounds = append(bounds, b)
+			}
+			counts = append(counts, s.value)
+		case "lat_seconds_sum":
+			sum = s.value
+		case "lat_seconds_count":
+			count = s.value
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket")
+	}
+	if sum < 0 || count < 0 {
+		t.Fatal("missing _sum or _count")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bucket bounds not ascending: %v", bounds)
+		}
+		if counts[i] < counts[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", counts)
+		}
+	}
+	if counts[len(counts)-1] != count {
+		t.Fatalf("+Inf bucket %v != count %v", counts[len(counts)-1], count)
+	}
+	if count != 6 {
+		t.Fatalf("count = %v, want 6", count)
+	}
+}
+
+func TestPrometheusHelpPlacementAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("x_total", "Line one\nline two with \\ backslash.")
+	r.Counter("x_total").Add(1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lintExposition(t, out)
+	want := `# HELP x_total Line one\nline two with \\ backslash.`
+	if !strings.Contains(out, want) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if strings.Index(out, "# HELP x_total") > strings.Index(out, "# TYPE x_total") {
+		t.Fatalf("HELP after TYPE:\n%s", out)
+	}
+}

@@ -25,6 +25,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	helps    map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -33,7 +34,29 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		helps:    map[string]string{},
 	}
+}
+
+// SetHelp registers the # HELP text WritePrometheus emits for the metric
+// name (shared across its label sets). Nil-safe; the last call wins.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.helps[name] = help
+	r.mu.Unlock()
+}
+
+// help returns the registered help text for name, or "".
+func (r *Registry) help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.helps[name]
 }
 
 // Counter is a monotonically increasing value.

@@ -1,0 +1,112 @@
+// Per-track slowest-span drill-down: where Summary aggregates by span
+// name across all tracks, TopSpans keeps tracks separate and surfaces
+// individual long spans — the view that answers "which request, on which
+// rank, was slow" for a loaded trace.
+
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TrackTop is the slowest spans of one (pid, tid) track.
+type TrackTop struct {
+	PID, TID int
+	// Track is the human name: "process/thread" when both are named,
+	// falling back to numeric ids.
+	Track string
+	// Total is the cumulative duration of all spans on the track (not
+	// just the retained ones).
+	Total float64
+	// Spans holds at most the requested N spans, slowest first; ties
+	// break by name then start time so the listing is deterministic.
+	Spans []Span
+}
+
+// TopSpans returns, for every track with at least one span, the n
+// slowest spans, tracks ordered by (PID, TID). Nil-safe.
+func TopSpans(s *Scope, n int) []TrackTop {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	byTrack := map[[2]int]*TrackTop{}
+	for _, sp := range s.Spans() {
+		k := [2]int{sp.PID, sp.TID}
+		tt := byTrack[k]
+		if tt == nil {
+			tt = &TrackTop{PID: sp.PID, TID: sp.TID, Track: s.trackName(sp.PID, sp.TID)}
+			byTrack[k] = tt
+		}
+		tt.Total += sp.End - sp.Start
+		tt.Spans = append(tt.Spans, sp)
+	}
+	out := make([]TrackTop, 0, len(byTrack))
+	for _, tt := range byTrack {
+		sort.Slice(tt.Spans, func(i, j int) bool {
+			di, dj := tt.Spans[i].End-tt.Spans[i].Start, tt.Spans[j].End-tt.Spans[j].Start
+			if di != dj {
+				return di > dj
+			}
+			if tt.Spans[i].Name != tt.Spans[j].Name {
+				return tt.Spans[i].Name < tt.Spans[j].Name
+			}
+			return tt.Spans[i].Start < tt.Spans[j].Start
+		})
+		if len(tt.Spans) > n {
+			tt.Spans = tt.Spans[:n]
+		}
+		out = append(out, *tt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+// trackName resolves (pid, tid) to "process/thread", with numeric
+// fallbacks for unnamed tracks.
+func (s *Scope) trackName(pid, tid int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	proc := s.procNames[pid]
+	if proc == "" {
+		proc = fmt.Sprintf("pid %d", pid)
+	}
+	thread := s.threadNames[[2]int{pid, tid}]
+	if thread == "" {
+		thread = fmt.Sprintf("tid %d", tid)
+	}
+	return proc + "/" + thread
+}
+
+// FormatTopSpans renders TopSpans output for the terminal: one block per
+// track, one line per span with its duration, share of the track's
+// total, and span args.
+func FormatTopSpans(tops []TrackTop) string {
+	var b strings.Builder
+	for i, tt := range tops {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "track %s: %d slowest spans (track total %.6f s)\n",
+			tt.Track, len(tt.Spans), tt.Total)
+		for _, sp := range tt.Spans {
+			d := sp.End - sp.Start
+			pct := 0.0
+			if tt.Total > 0 {
+				pct = 100 * d / tt.Total
+			}
+			fmt.Fprintf(&b, "  %-20s %12.6f s  %5.1f%%  @%.6f", sp.Name, d, pct, sp.Start)
+			for _, a := range sp.Args {
+				fmt.Fprintf(&b, "  %s=%d", a.Key, a.Val)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+// The serving suite: boots the real mapd handler in-process behind an
+// httptest listener and drives it with a closed-loop worker pool — the
+// same shape mrload applies to a live daemon, but hermetic enough for
+// the regression gate. ns/op is the closed-loop per-request latency;
+// req/s, goodput and latency percentiles ride along as custom metrics.
+
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mapd"
+)
+
+// loadShot is one request of the serving workload.
+type loadShot struct {
+	endpoint string
+	body     []byte
+}
+
+// servingWorkload builds the request mix. Cache-friendly: a bounded set
+// of distinct shapes, so after the first pass the daemon serves hits.
+func servingWorkload() []loadShot {
+	var shots []loadShot
+	add := func(endpoint string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		shots = append(shots, loadShot{endpoint: endpoint, body: b})
+	}
+	rank := 5
+	for _, h := range []string{"2,2,4", "2,4,2,8", "16,2,2,8"} {
+		add("/v1/map", mapd.MapRequest{Hierarchy: h, Rank: &rank})
+		add("/v1/metrics/order", mapd.OrderMetricsRequest{Hierarchy: h})
+		add("/v1/select", mapd.SelectRequest{Hierarchy: h, N: 8})
+	}
+	shots = append(shots, adviseWorkload()...)
+	return shots
+}
+
+// adviseWorkload is the evaluation-heavy slice: one advise scenario, so
+// the cache-off benchmark measures the order search end to end.
+func adviseWorkload() []loadShot {
+	b, err := json.Marshal(mapd.AdviseRequest{
+		Machine: "hydra", Nodes: 4, Collective: "alltoall", CommSize: 16,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return []loadShot{{endpoint: "/v1/advise", body: b}}
+}
+
+// runLoad drives n requests through the handler with conc closed-loop
+// workers and returns the successful latencies in completion order.
+func runLoad(url string, client *http.Client, shots []loadShot, n, conc int) ([]time.Duration, error) {
+	if conc > n {
+		conc = n
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats = make([]time.Duration, 0, n)
+		errs []error
+	)
+	per := n / conc
+	extra := n % conc
+	for w := 0; w < conc; w++ {
+		quota := per
+		if w < extra {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, quota)
+			for i := 0; i < quota; i++ {
+				s := shots[(w+i)%len(shots)]
+				start := time.Now()
+				resp, err := client.Post(url+s.endpoint, "application/json", bytes.NewReader(s.body))
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("%s: HTTP %d", s.endpoint, resp.StatusCode))
+					mu.Unlock()
+					return
+				}
+				mine = append(mine, time.Since(start))
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(w, quota)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return lats, nil
+}
+
+func durPercentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ServingSuite benchmarks the end-to-end request path of the in-process
+// mapd handler: a cache-hot mixed workload (the steady state the service
+// is designed for) and a cache-off advise workload (the evaluation path).
+func ServingSuite() Suite {
+	s := Suite{
+		Name:        "serving",
+		Description: "in-process mapd handler under closed-loop load",
+		// Serving latency is the noisiest family; the gate tolerates more.
+		Threshold: 0.50,
+	}
+	const conc = 8
+	mk := func(cacheEntries int, shots []loadShot, warm bool) func(*B) {
+		return func(b *B) {
+			srv := mapd.New(mapd.Config{CacheEntries: cacheEntries})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			client := ts.Client()
+			client.Transport = &http.Transport{
+				MaxIdleConns:        conc * 2,
+				MaxIdleConnsPerHost: conc * 2,
+			}
+			if warm {
+				if _, err := runLoad(ts.URL, client, shots, len(shots), conc); err != nil {
+					b.Fatalf("warmup: %v", err)
+				}
+			}
+			b.ResetTimer()
+			start := time.Now()
+			lats, err := runLoad(ts.URL, client, shots, b.N, conc)
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if err != nil {
+				b.Fatalf("%v", err)
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+			b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "goodput_req/s")
+			b.ReportMetric(float64(durPercentile(lats, 0.50).Microseconds()), "p50_us")
+			b.ReportMetric(float64(durPercentile(lats, 0.99).Microseconds()), "p99_us")
+		}
+	}
+	s.Benches = append(s.Benches,
+		Bench{Name: "Serving/mixed/cache-hot", F: mk(4096, servingWorkload(), true)},
+		Bench{Name: "Serving/advise/no-cache", F: mk(-1, adviseWorkload(), false)},
+	)
+	return s
+}

@@ -1,0 +1,318 @@
+// A minimal decoder for pprof's profile.proto (the gzipped protobuf
+// runtime/pprof and net/http/pprof emit), hand-rolled so the observatory
+// needs no protobuf dependency. It decodes exactly the fields required
+// to aggregate per-function flat and cumulative weights:
+//
+//	Profile:  sample_type(1), sample(2), location(4), function(5),
+//	          string_table(6)
+//	Sample:   location_id(1), value(2)
+//	Location: id(1), line(4)
+//	Line:     function_id(1)
+//	Function: id(1), name(2)
+//
+// Unknown fields are skipped by wire type, so future profile versions
+// keep decoding.
+
+package perf
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// profile is the decoded subset of a pprof profile.
+type profile struct {
+	sampleTypes []valueType
+	samples     []pprofSample
+	// locFuncs maps a location id to the function ids of its lines,
+	// innermost (leaf) first — pprof line order.
+	locFuncs map[uint64][]uint64
+	funcName map[uint64]string
+	strings  []string
+}
+
+type valueType struct{ typ, unit string }
+
+type pprofSample struct {
+	locs   []uint64 // leaf first
+	values []int64
+}
+
+// parseProfile decodes a (possibly gzipped) profile.proto blob.
+func parseProfile(data []byte) (*profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("pprof: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("pprof: gunzip: %w", err)
+		}
+		data = raw
+	}
+	p := &profile{
+		locFuncs: map[uint64][]uint64{},
+		funcName: map[uint64]string{},
+	}
+	type rawVT struct{ typ, unit uint64 }
+	var rawVTs []rawVT
+	type rawFunc struct {
+		id   uint64
+		name uint64
+	}
+	var rawFuncs []rawFunc
+	err := walkFields(data, func(field uint64, wire int, v uint64, sub []byte) error {
+		switch field {
+		case 1: // sample_type: ValueType
+			var vt rawVT
+			if err := walkFields(sub, func(f uint64, w int, x uint64, _ []byte) error {
+				switch f {
+				case 1:
+					vt.typ = x
+				case 2:
+					vt.unit = x
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			rawVTs = append(rawVTs, vt)
+		case 2: // sample
+			var s pprofSample
+			if err := walkFields(sub, func(f uint64, w int, x uint64, b []byte) error {
+				switch f {
+				case 1:
+					if w == 2 { // packed
+						s.locs = append(s.locs, unpackVarints(b)...)
+					} else {
+						s.locs = append(s.locs, x)
+					}
+				case 2:
+					if w == 2 {
+						for _, u := range unpackVarints(b) {
+							s.values = append(s.values, int64(u))
+						}
+					} else {
+						s.values = append(s.values, int64(x))
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			var id uint64
+			var funcs []uint64
+			if err := walkFields(sub, func(f uint64, w int, x uint64, b []byte) error {
+				switch f {
+				case 1:
+					id = x
+				case 4: // line
+					return walkFields(b, func(lf uint64, _ int, lx uint64, _ []byte) error {
+						if lf == 1 {
+							funcs = append(funcs, lx)
+						}
+						return nil
+					})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.locFuncs[id] = funcs
+		case 5: // function
+			var fn rawFunc
+			if err := walkFields(sub, func(f uint64, w int, x uint64, _ []byte) error {
+				switch f {
+				case 1:
+					fn.id = x
+				case 2:
+					fn.name = x
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			rawFuncs = append(rawFuncs, fn)
+		case 6: // string_table
+			p.strings = append(p.strings, string(sub))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	str := func(i uint64) string {
+		if int(i) < len(p.strings) {
+			return p.strings[i]
+		}
+		return ""
+	}
+	for _, vt := range rawVTs {
+		p.sampleTypes = append(p.sampleTypes, valueType{typ: str(vt.typ), unit: str(vt.unit)})
+	}
+	for _, fn := range rawFuncs {
+		p.funcName[fn.id] = str(fn.name)
+	}
+	return p, nil
+}
+
+// walkFields iterates the top-level fields of one protobuf message.
+// For varint fields fn receives the value in v; for length-delimited
+// fields the raw bytes in sub (v is their length).
+func walkFields(data []byte, fn func(field uint64, wire int, v uint64, sub []byte) error) error {
+	for len(data) > 0 {
+		key, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("pprof: bad field key")
+		}
+		data = data[n:]
+		field, wire := key>>3, int(key&7)
+		switch wire {
+		case 0: // varint
+			v, n := uvarint(data)
+			if n <= 0 {
+				return fmt.Errorf("pprof: bad varint in field %d", field)
+			}
+			data = data[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(data) < 8 {
+				return fmt.Errorf("pprof: truncated fixed64 in field %d", field)
+			}
+			data = data[8:]
+		case 2: // length-delimited
+			l, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("pprof: truncated bytes in field %d", field)
+			}
+			sub := data[n : n+int(l)]
+			data = data[n+int(l):]
+			if err := fn(field, wire, l, sub); err != nil {
+				return err
+			}
+		case 5: // fixed32
+			if len(data) < 4 {
+				return fmt.Errorf("pprof: truncated fixed32 in field %d", field)
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("pprof: unsupported wire type %d in field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+// uvarint decodes a protobuf varint, returning the value and byte count
+// (0 when truncated).
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i]&0x80 == 0 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// unpackVarints decodes a packed repeated varint payload.
+func unpackVarints(b []byte) []uint64 {
+	var out []uint64
+	for len(b) > 0 {
+		v, n := uvarint(b)
+		if n <= 0 {
+			break
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out
+}
+
+// valueIndex picks which sample value to aggregate: prefer cpu
+// nanoseconds, then inuse_space bytes, else the last value column (the
+// pprof default).
+func (p *profile) valueIndex() (int, string) {
+	for i, vt := range p.sampleTypes {
+		if vt.typ == "cpu" && vt.unit == "nanoseconds" {
+			return i, vt.unit
+		}
+	}
+	for i, vt := range p.sampleTypes {
+		if vt.typ == "inuse_space" {
+			return i, vt.unit
+		}
+	}
+	if n := len(p.sampleTypes); n > 0 {
+		return n - 1, p.sampleTypes[n-1].unit
+	}
+	return 0, ""
+}
+
+// TopSymbols decodes a pprof blob and returns the top-n functions by
+// flat weight (ties broken by cumulative weight, then name). Flat is the
+// weight of samples whose leaf frame is the function; Cum counts every
+// sample the function appears in (deduplicated per sample, so recursion
+// does not double-count).
+func TopSymbols(data []byte, n int) ([]Symbol, error) {
+	p, err := parseProfile(data)
+	if err != nil {
+		return nil, err
+	}
+	vi, unit := p.valueIndex()
+	flat := map[string]float64{}
+	cum := map[string]float64{}
+	for _, s := range p.samples {
+		if vi >= len(s.values) {
+			continue
+		}
+		v := float64(s.values[vi])
+		if v == 0 || len(s.locs) == 0 {
+			continue
+		}
+		seen := map[string]bool{}
+		for li, loc := range s.locs {
+			funcs := p.locFuncs[loc]
+			for fi, fid := range funcs {
+				name := p.funcName[fid]
+				if name == "" {
+					continue
+				}
+				// The leaf frame of the sample is the first line of the
+				// first location.
+				if li == 0 && fi == 0 {
+					flat[name] += v
+				}
+				if !seen[name] {
+					seen[name] = true
+					cum[name] += v
+				}
+			}
+		}
+	}
+	syms := make([]Symbol, 0, len(cum))
+	for name, c := range cum {
+		syms = append(syms, Symbol{Func: name, Flat: flat[name], Cum: c, Unit: unit})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Flat != syms[j].Flat {
+			return syms[i].Flat > syms[j].Flat
+		}
+		if syms[i].Cum != syms[j].Cum {
+			return syms[i].Cum > syms[j].Cum
+		}
+		return syms[i].Func < syms[j].Func
+	})
+	if len(syms) > n {
+		syms = syms[:n]
+	}
+	return syms, nil
+}
