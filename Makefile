@@ -20,7 +20,7 @@ test:
 # service, its telemetry layer, the simulator core, and the
 # fault-injection layer.
 race:
-	$(GO) test -race ./internal/mapd/... ./internal/obs/... ./internal/sim/... ./internal/fault/... ./internal/mpi/...
+	$(GO) test -race ./internal/mapd/... ./internal/obs/... ./internal/sim/... ./internal/fault/... ./internal/mpi/... ./internal/procmap/...
 
 # check is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build (including the serving commands), the full test suite under the
@@ -46,12 +46,14 @@ check:
 
 # smoke boots a real mrserved with the pprof debug listener and trace
 # export, probes every telemetry surface (/metrics incl. runtime-sampler
-# series, /v1/slo, /debug/pprof/heap), issues one traced request, shuts
-# the daemon down gracefully, and validates the written Perfetto trace by
-# opening it with mrtrace.
+# series, /v1/slo, /debug/pprof/heap), issues one traced request, drives
+# the matrix-aware mapping end to end (mrmap matrix -emit → -server →
+# /v1/map/matrix), shuts the daemon down gracefully, and validates the
+# written Perfetto trace by opening it with mrtrace.
 smoke:
 	$(GO) build -o /tmp/mrserved.smoke ./cmd/mrserved
 	$(GO) build -o /tmp/mrtrace.smoke ./cmd/mrtrace
+	$(GO) build -o /tmp/mrmap.smoke ./cmd/mrmap
 	@set -e; \
 	rm -f $(SMOKE_TRACE); \
 	/tmp/mrserved.smoke -addr $(SMOKE_ADDR) -debug-addr $(SMOKE_DEBUG) \
@@ -69,18 +71,22 @@ smoke:
 	curl -fsS http://$(SMOKE_ADDR)/metrics | grep -q '^slo_burn_rate'; \
 	curl -fsS http://$(SMOKE_ADDR)/v1/slo | grep -q '"availability_burn"'; \
 	curl -fsS -o /dev/null http://$(SMOKE_DEBUG)/debug/pprof/heap; \
+	/tmp/mrmap.smoke matrix -gen halo:4x8 -emit > /tmp/mrmap-smoke-matrix.json; \
+	/tmp/mrmap.smoke matrix -h 2,4,4 -matrix /tmp/mrmap-smoke-matrix.json \
+		-server http://$(SMOKE_ADDR) | grep -q 'matrix-aware \[matrix\]'; \
+	curl -fsS http://$(SMOKE_ADDR)/metrics | grep -q '^procmap_map_seconds'; \
 	kill -TERM $$pid; wait $$pid; \
 	trap - EXIT; \
 	/tmp/mrtrace.smoke -open $(SMOKE_TRACE) | grep -q 'http /v1/map'; \
 	grep -q 'trace 0af7651916cd43dd8448eb211c80319c' $(SMOKE_TRACE) || \
 		{ echo "smoke: injected trace id missing from server trace"; exit 1; }; \
-	rm -f /tmp/mrserved.smoke /tmp/mrtrace.smoke; \
+	rm -f /tmp/mrserved.smoke /tmp/mrtrace.smoke /tmp/mrmap.smoke /tmp/mrmap-smoke-matrix.json; \
 	echo "smoke: serving telemetry OK ($(SMOKE_TRACE))"
 
 # BENCH_SUITES are the committed trajectory baselines the regression gate
 # compares against; BENCH_GIT/BENCH_TS stamp fresh records so trajectory
 # points are attributable (CI passes the workflow's SHA explicitly).
-BENCH_SUITES ?= kernels order_search
+BENCH_SUITES ?= kernels order_search procmap
 BENCH_GIT    ?= $(shell git rev-parse --short HEAD 2>/dev/null)
 BENCH_TS     ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 

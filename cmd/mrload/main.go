@@ -1,6 +1,6 @@
 // Command mrload is a closed-loop load generator for mrserved: a fixed
 // number of workers each keep exactly one request in flight against a
-// mixed workload spanning all four query endpoints, then report goodput
+// mixed workload spanning all the query endpoints, then report goodput
 // and latency percentiles. It is the measurable baseline for the serving
 // path, and doubles as the degraded-mode probe: failed attempts are
 // classified (shed 503s, other 5xx, 4xx, transport errors) and retried
@@ -43,8 +43,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/commmatrix"
 	"repro/internal/mapd"
 	"repro/internal/obs/rt"
+	"repro/internal/procmap"
 )
 
 type shot struct {
@@ -78,6 +80,31 @@ func workload(spread int) []shot {
 			add("/v1/map", mapd.MapRequest{Hierarchy: h, Order: o, Table: true})
 			add("/v1/metrics/order", mapd.OrderMetricsRequest{Hierarchy: h, Order: o})
 			add("/v1/select", mapd.SelectRequest{Hierarchy: h, Order: o, N: 8})
+		}
+	}
+	// Matrix-aware placement shots: small synthetic workloads so one
+	// request stays cheap, with two seeds per matrix for distinct keys.
+	matrices := []struct {
+		hier string
+		gen  func() (*commmatrix.Matrix, error)
+	}{
+		{"2,4,4", func() (*commmatrix.Matrix, error) { return procmap.Halo(4, 8, 1024) }},
+		{"2,2,8", func() (*commmatrix.Matrix, error) { return procmap.Halo(8, 4, 4096) }},
+		{"2,2,4", func() (*commmatrix.Matrix, error) {
+			return procmap.GridLayers([3]int{2, 2, 4}, [3]float64{10, 1000, 10})
+		}},
+	}
+	for _, mw := range matrices {
+		m, err := mw.gen()
+		if err != nil {
+			panic(err)
+		}
+		for _, seed := range []int64{0, 1} {
+			add("/v1/map/matrix", mapd.MatrixMapRequest{
+				Hierarchy: mw.hier,
+				Matrix:    m.Sparse(),
+				Seed:      seed,
+			})
 		}
 	}
 	for i := 0; i < spread; i++ {

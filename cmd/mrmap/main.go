@@ -53,6 +53,8 @@ func main() {
 		err = cmdSlurm(args)
 	case "advise":
 		err = cmdAdvise(args)
+	case "matrix":
+		err = cmdMatrix(args)
 	case "procsets":
 		err = cmdProcsets(args)
 	case "detect":
@@ -81,6 +83,7 @@ commands:
   mapcpu     -h <node-hier> -order <sigma> -n <k>    --cpu-bind=map_cpu list (Alg. 3)
   slurm      -h <hier> -order <sigma>                equivalent --distribution value
   advise     -machine hydra -coll alltoall -comm 16  rank the orders analytically
+  matrix     -h <hier> -matrix <file> | -gen <spec>  communication-matrix-aware placement
   procsets   -h <hier>                               MPI-sessions-style process sets
   detect     -lstopo <file> | -sysfs <dir>           derive the hierarchy from a machine description
 

@@ -301,6 +301,9 @@ func renderStats(w io.Writer, rep mapd.StatsReport, n int) {
 		rep.TotalRequests, 100*rep.CacheHitRate, rep.TrackedClasses,
 		rep.DistinctClassesEstimate, rep.MaxClasses, rep.Evictions)
 
+	if len(rep.Endpoints) > 0 {
+		fmt.Fprintf(w, "endpoints:    %s\n", joinCounts(rep.Endpoints))
+	}
 	if len(rep.SearchModes) > 0 {
 		fmt.Fprintf(w, "search modes: %s\n", joinCounts(rep.SearchModes))
 	}

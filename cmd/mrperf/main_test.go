@@ -112,6 +112,7 @@ func TestRenderStats(t *testing.T) {
 		Depths:      []mapd.DepthCount{{Depth: 2, Requests: 40}, {Depth: 3, Requests: 80}},
 		Collectives: map[string]uint64{"alltoall": 70, "allgather": 30},
 		SearchModes: map[string]uint64{"pruned": 90, "fallback": 10},
+		Endpoints:   map[string]uint64{"map": 100, "map_matrix": 20},
 	}
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/v1/stats" {
@@ -140,6 +141,7 @@ func TestRenderStats(t *testing.T) {
 		"cache hit rate 25.0%",
 		"pruned 90",
 		"alltoall 70",
+		"map_matrix 20",
 		"depth 3: 80",
 		"2x4x8",
 		"4x4",

@@ -48,19 +48,20 @@ import (
 )
 
 type options struct {
-	addr        string
-	debugAddr   string
-	traceFile   string
-	sample      float64
-	cache       int
-	shards      int
-	workers     int
-	timeout     time.Duration
-	maxBody     int64
-	maxInflight int
-	statClasses int
-	announce    time.Duration
-	drain       time.Duration
+	addr         string
+	debugAddr    string
+	traceFile    string
+	sample       float64
+	cache        int
+	shards       int
+	workers      int
+	timeout      time.Duration
+	matrixBudget time.Duration
+	maxBody      int64
+	maxInflight  int
+	statClasses  int
+	announce     time.Duration
+	drain        time.Duration
 }
 
 // logger is the process-wide trace-correlated structured logger; main
@@ -75,6 +76,7 @@ func buildServers(o options) (*mapd.Server, *http.Server, *rt.Tracer) {
 		AdviseWorkers: o.workers,
 		MaxBody:       o.maxBody,
 		Timeout:       o.timeout,
+		MatrixBudget:  o.matrixBudget,
 		MaxInflight:   o.maxInflight,
 		StatsClasses:  o.statClasses,
 		Tracer:        tracer,
@@ -166,6 +168,7 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 16, "result-cache shard count")
 	flag.IntVar(&o.workers, "workers", 0, "advisor worker-pool size per evaluation (0 = GOMAXPROCS)")
 	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-evaluation budget")
+	flag.DurationVar(&o.matrixBudget, "matrix-budget", 0, "matrix-aware search budget before degrading to the \u03c3-order fallback (0 = -timeout)")
 	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "maximum request body in bytes")
 	flag.IntVar(&o.maxInflight, "max-inflight", 512, "in-flight request cap before shedding (negative disables)")
 	flag.IntVar(&o.statClasses, "stats-classes", mapd.DefaultStatsClasses, "shape classes tracked by /v1/stats (Space-Saving top-K)")

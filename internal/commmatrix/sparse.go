@@ -1,0 +1,176 @@
+// The sparse JSON wire format of a communication matrix. The collector,
+// the mapd endpoint, and the CLI all exchange the same canonical form:
+// upper-triangle edges (a < b), sorted, strictly positive finite volumes,
+// no self-edges. Canonicalization makes the encoding content-addressable —
+// Digest is a stable cache key for "this traffic on this machine".
+
+package commmatrix
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is one undirected traffic entry of the sparse wire format.
+type Edge struct {
+	// A and B are the endpoint ranks; canonical form has A < B.
+	A int `json:"a"`
+	B int `json:"b"`
+	// Bytes is the traffic volume between the two ranks (both directions
+	// summed). Must be finite and strictly positive.
+	Bytes float64 `json:"bytes"`
+}
+
+// Sparse is the JSON wire format of a Matrix: the rank count plus the
+// nonzero upper-triangle edges.
+type Sparse struct {
+	Ranks int    `json:"ranks"`
+	Edges []Edge `json:"edges"`
+}
+
+// Sparse returns the canonical sparse form of the matrix: one edge per
+// nonzero unordered pair, endpoints ordered a < b, edges sorted by (a, b).
+func (m *Matrix) Sparse() Sparse {
+	s := Sparse{Ranks: m.n}
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if v := m.vol[i*m.n+j]; v != 0 {
+				s.Edges = append(s.Edges, Edge{A: i, B: j, Bytes: v})
+			}
+		}
+	}
+	return s
+}
+
+// Validate checks the sparse form: a positive rank count, endpoint ranks
+// in range, no self-edges, no duplicate pairs (in either orientation), and
+// finite positive volumes. It does not require canonical ordering.
+func (s Sparse) Validate() error {
+	if s.Ranks <= 0 {
+		return fmt.Errorf("commmatrix: non-positive rank count %d", s.Ranks)
+	}
+	seen := make(map[[2]int]bool, len(s.Edges))
+	for i, e := range s.Edges {
+		if e.A < 0 || e.A >= s.Ranks || e.B < 0 || e.B >= s.Ranks {
+			return fmt.Errorf("commmatrix: edge %d (%d,%d) out of range for %d ranks", i, e.A, e.B, s.Ranks)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("commmatrix: edge %d is a self-edge on rank %d", i, e.A)
+		}
+		if math.IsNaN(e.Bytes) || math.IsInf(e.Bytes, 0) {
+			return fmt.Errorf("commmatrix: edge %d (%d,%d) has non-finite volume", i, e.A, e.B)
+		}
+		if e.Bytes <= 0 {
+			return fmt.Errorf("commmatrix: edge %d (%d,%d) has non-positive volume %g", i, e.A, e.B, e.Bytes)
+		}
+		k := [2]int{e.A, e.B}
+		if e.B < e.A {
+			k = [2]int{e.B, e.A}
+		}
+		// A pair listed twice — even once per orientation — would make the
+		// symmetric reconstruction ambiguous, so it is rejected rather than
+		// summed.
+		if seen[k] {
+			return fmt.Errorf("commmatrix: duplicate edge (%d,%d)", e.A, e.B)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// FromSparse validates the sparse form and expands it into a Matrix.
+func FromSparse(s Sparse) (*Matrix, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := New(s.Ranks)
+	for _, e := range s.Edges {
+		m.Add(e.A, e.B, e.Bytes)
+	}
+	return m, nil
+}
+
+// canonical returns the edges sorted into canonical order (a < b within
+// each edge, edges ordered by (a, b)) without mutating the receiver.
+func (s Sparse) canonical() []Edge {
+	edges := make([]Edge, len(s.Edges))
+	for i, e := range s.Edges {
+		if e.B < e.A {
+			e.A, e.B = e.B, e.A
+		}
+		edges[i] = e
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	return edges
+}
+
+// Digest returns a stable content digest of the matrix described by the
+// sparse form: the SHA-256 of the canonical (ranks, sorted edges) byte
+// encoding. Two Sparse values describing the same traffic — regardless of
+// edge order or endpoint orientation — share a digest.
+func (s Sparse) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(s.Ranks))
+	h.Write(buf[:])
+	for _, e := range s.canonical() {
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.A))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.B))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.Bytes))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MarshalJSON encodes the matrix in the canonical sparse wire format.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Sparse())
+}
+
+// UnmarshalJSON decodes the sparse wire format, rejecting unknown fields
+// and anything Validate rejects, and expands it into the receiver.
+func (m *Matrix) UnmarshalJSON(data []byte) error {
+	var s Sparse
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return fmt.Errorf("commmatrix: decoding sparse matrix: %w", err)
+	}
+	dm, err := FromSparse(s)
+	if err != nil {
+		return err
+	}
+	*m = *dm
+	return nil
+}
+
+// Edges calls fn for every nonzero unordered pair (a < b) with its volume.
+func (m *Matrix) Edges(fn func(a, b int, bytes float64)) {
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if v := m.vol[i*m.n+j]; v != 0 {
+				fn(i, j, v)
+			}
+		}
+	}
+}
+
+// NumEdges returns the number of nonzero unordered pairs.
+func (m *Matrix) NumEdges() int {
+	n := 0
+	m.Edges(func(int, int, float64) { n++ })
+	return n
+}

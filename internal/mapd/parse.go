@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/cluster"
+	"repro/internal/commmatrix"
 	"repro/internal/netmodel"
 	"repro/internal/perm"
 	"repro/internal/topology"
@@ -34,6 +35,17 @@ const (
 	MaxAdviseNodes = 4096
 	// MaxTop bounds how many ranked orders an advise response carries.
 	MaxTop = 64
+	// MaxMatrixRanks bounds the rank count of a matrix-map request: the
+	// refinement is superlinear in ranks, and the synchronous budget must
+	// hold even for dense matrices.
+	MaxMatrixRanks = 1024
+	// MaxMatrixDepth bounds the hierarchy depth of a matrix-map request —
+	// the σ baseline enumerates k! digit orders (6! = 720).
+	MaxMatrixDepth = 6
+	// MaxMatrixEdges bounds the sparse matrix's edge count.
+	MaxMatrixEdges = 1 << 14
+	// MaxMatrixRounds bounds the requested refinement rounds.
+	MaxMatrixRounds = 64
 )
 
 // ErrBadRequest marks a client error (HTTP 400). Every parse/validation
@@ -254,6 +266,59 @@ func (r *SelectRequest) parse() (*parsedSelect, error) {
 		return nil, badf("selection of %d cores exceeds the %d-core limit", r.N, MaxTable)
 	}
 	return &parsedSelect{h: h, arities: h.Arities(), sigma: sigma, n: r.N}, nil
+}
+
+// parsedMatrixMap is the canonical form of a MatrixMapRequest.
+type parsedMatrixMap struct {
+	h       topology.Hierarchy
+	arities []int
+	m       *commmatrix.Matrix
+	digest  string
+	seed    int64
+	rounds  int
+	refine  bool
+}
+
+func (r *MatrixMapRequest) parse() (*parsedMatrixMap, error) {
+	h, err := parseHierarchy(r.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	if h.Depth() > MaxMatrixDepth {
+		return nil, badf("matrix-map hierarchy depth %d exceeds %d", h.Depth(), MaxMatrixDepth)
+	}
+	if h.Size() > MaxMatrixRanks {
+		return nil, badf("matrix-map hierarchy enumerates %d ranks, limit %d", h.Size(), MaxMatrixRanks)
+	}
+	if len(r.Matrix.Edges) > MaxMatrixEdges {
+		return nil, badf("matrix has %d edges, limit %d", len(r.Matrix.Edges), MaxMatrixEdges)
+	}
+	if err := r.Matrix.Validate(); err != nil {
+		return nil, badf("%v", err)
+	}
+	if r.Matrix.Ranks != h.Size() {
+		return nil, badf("matrix covers %d ranks, hierarchy enumerates %d", r.Matrix.Ranks, h.Size())
+	}
+	if r.MaxRounds < 0 || r.MaxRounds > MaxMatrixRounds {
+		return nil, badf("max_rounds %d outside [0, %d]", r.MaxRounds, MaxMatrixRounds)
+	}
+	m, err := commmatrix.FromSparse(r.Matrix)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	q := &parsedMatrixMap{
+		h:       h,
+		arities: h.Arities(),
+		m:       m,
+		digest:  r.Matrix.Digest(),
+		seed:    r.Seed,
+		rounds:  r.MaxRounds,
+		refine:  true,
+	}
+	if r.Refine != nil {
+		q.refine = *r.Refine
+	}
+	return q, nil
 }
 
 // parsedOrderMetrics is the canonical form of an OrderMetricsRequest.

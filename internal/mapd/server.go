@@ -60,6 +60,10 @@ type Config struct {
 	// BreakerCooldown is how long the breaker stays open before letting a
 	// probe evaluation through (default 10 s).
 	BreakerCooldown time.Duration
+	// MatrixBudget bounds one matrix-aware placement search. A search that
+	// exceeds it degrades to the σ-order fallback (answered 200, flagged
+	// degraded, uncached) instead of failing with 504 (default: Timeout).
+	MatrixBudget time.Duration
 	// Registry receives the service metrics (default: a fresh registry).
 	Registry *obs.Registry
 	// Tracer records request-scoped spans (nil disables tracing; every
@@ -99,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 10 * time.Second
 	}
+	if c.MatrixBudget <= 0 {
+		c.MatrixBudget = c.Timeout
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -125,33 +132,38 @@ type Server struct {
 	inflightN atomic.Int64 // shedding decision
 	draining  atomic.Bool
 
-	inflight  *obs.Gauge
-	shared    *obs.Counter
-	evals     *obs.Counter
-	shed      *obs.Counter
-	fallbacks *obs.Counter
+	inflight        *obs.Gauge
+	shared          *obs.Counter
+	evals           *obs.Counter
+	shed            *obs.Counter
+	fallbacks       *obs.Counter
+	matrixFallbacks *obs.Counter
 
 	// AdviseHook, when non-nil, runs inside each advise evaluation before
 	// the order search starts. Tests use it as a synchronization point and
 	// as a fault injector for the circuit breaker.
 	AdviseHook func()
+	// MatrixHook is AdviseHook's matrix-map counterpart; it runs inside the
+	// evaluation, already under the MatrixBudget deadline.
+	MatrixHook func()
 }
 
 // New returns a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		cache:     NewCache(cfg.CacheEntries, cfg.CacheShards),
-		reg:       cfg.Registry,
-		slo:       cfg.SLO,
-		logger:    cfg.Logger,
-		stats:     newWorkloadStats(cfg.StatsClasses),
-		inflight:  cfg.Registry.Gauge("mapd_inflight_requests"),
-		shared:    cfg.Registry.Counter("mapd_singleflight_shared_total"),
-		evals:     cfg.Registry.Counter("mapd_advise_evals_total"),
-		shed:      cfg.Registry.Counter("mapd_shed_total"),
-		fallbacks: cfg.Registry.Counter("mapd_advise_fallback_total"),
+		cfg:             cfg,
+		cache:           NewCache(cfg.CacheEntries, cfg.CacheShards),
+		reg:             cfg.Registry,
+		slo:             cfg.SLO,
+		logger:          cfg.Logger,
+		stats:           newWorkloadStats(cfg.StatsClasses),
+		inflight:        cfg.Registry.Gauge("mapd_inflight_requests"),
+		shared:          cfg.Registry.Counter("mapd_singleflight_shared_total"),
+		evals:           cfg.Registry.Counter("mapd_advise_evals_total"),
+		shed:            cfg.Registry.Counter("mapd_shed_total"),
+		fallbacks:       cfg.Registry.Counter("mapd_advise_fallback_total"),
+		matrixFallbacks: cfg.Registry.Counter("mapd_matrix_fallback_total"),
 	}
 	for name, help := range map[string]string{
 		"mapd_requests_total":                  "Requests served, by endpoint and HTTP status code.",
@@ -162,16 +174,21 @@ func New(cfg Config) *Server {
 		"mapd_singleflight_shared_total":       "Evaluations shared between concurrent identical requests.",
 		"mapd_advise_evals_total":              "Full advisor order-search evaluations started.",
 		"mapd_shed_total":                      "Requests shed by the in-flight cap.",
-		"mapd_advise_fallback_total":           "Advise answers served by the breaker-open heuristic.",
+		"mapd_advise_fallback_total":           "Answers served by the breaker-open fallback, any guarded endpoint.",
+		"mapd_matrix_fallback_total":           "Matrix-map answers degraded to the σ-order baseline (breaker open or over budget).",
 		"mapd_breaker_state":                   "Advisor circuit breaker state (0 closed, 1 open, 2 half-open).",
-		"advisor_search_seconds":               "Order-search latency, by search mode (exact/pruned/fallback).",
+		"advisor_search_seconds":               "Order-search latency, by search mode (exact/pruned/matrix/fallback).",
+		"procmap_map_seconds":                  "Matrix-aware placement latency (σ baseline + greedy + refinement).",
+		"procmap_refine_swaps_total":           "Pairwise swaps applied by matrix-aware refinement.",
+		"procmap_improvement_pct":              "Matrix-aware win over the best σ order, percent (last request).",
 		"advisor_class_hits_total":             "Orders served from an equivalence-class representative, by search mode.",
 		"advisor_class_misses_total":           "Order evaluations actually performed, by search mode.",
 		"mapd_stats_class_requests":            "Workload analytics: requests by canonical shape class (Space-Saving top-K).",
 		"mapd_stats_class_hit_rate":            "Workload analytics: cache hit rate by canonical shape class.",
 		"mapd_stats_depth_requests":            "Workload analytics: requests by hierarchy depth.",
 		"mapd_stats_collective_requests":       "Workload analytics: advise requests by collective.",
-		"mapd_stats_search_requests":           "Workload analytics: order searches by mode (exact/pruned/fallback).",
+		"mapd_stats_search_requests":           "Workload analytics: order searches by mode (exact/pruned/matrix/fallback).",
+		"mapd_stats_endpoint_requests":         "Workload analytics: requests by API endpoint.",
 		"mapd_stats_tracked_classes":           "Workload analytics: shape classes currently tracked (≤ K).",
 		"mapd_stats_distinct_classes_estimate": "Workload analytics: sketch estimate of distinct shape classes seen.",
 		"mapd_stats_class_evictions":           "Workload analytics: top-K evictions (count-error churn indicator).",
@@ -257,6 +274,55 @@ func (s *Server) Handler() http.Handler {
 		info := &statInfo{shape: q.spec.Hierarchy().Arities(), coll: string(q.coll)}
 		return q.Key(), compute, fallback, info, nil
 	}))
+	mux.HandleFunc("/v1/map/matrix", s.serveGuarded("map_matrix", func(body []byte) (string, computeFunc, computeFunc, *statInfo, error) {
+		var req MatrixMapRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", nil, nil, nil, err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", nil, nil, nil, err
+		}
+		compute := func(ctx context.Context) (any, error) {
+			start := time.Now()
+			mctx, cancel := context.WithTimeout(ctx, s.cfg.MatrixBudget)
+			defer cancel()
+			if s.MatrixHook != nil {
+				s.MatrixHook()
+			}
+			resp, err := evalMatrixMap(mctx, q)
+			if err != nil && mctx.Err() != nil && ctx.Err() == nil {
+				// Over budget: degrade to the σ-order baseline instead of
+				// failing. Counted as a breaker failure — a stream of
+				// over-budget searches should open the breaker and route
+				// straight to the cheap path.
+				if s.breaker != nil {
+					s.breaker.Record(false)
+				}
+				fresp, ferr := evalMatrixMapFallback(q)
+				if ferr != nil {
+					return nil, err
+				}
+				s.matrixFallbacks.Add(1)
+				s.recordMatrixSearch(advisor.ModeFallback, fresp, time.Since(start))
+				return fresp, nil
+			}
+			if s.breaker != nil {
+				s.breaker.Record(err == nil || errors.Is(err, ErrBadRequest))
+			}
+			if err == nil {
+				s.reg.Histogram("procmap_map_seconds", obs.SearchBuckets()).
+					Observe(time.Since(start).Seconds())
+				s.reg.Counter("procmap_refine_swaps_total").AddInt(int64(resp.Swaps))
+				s.reg.Gauge("procmap_improvement_pct").Set(resp.ImprovementPct)
+				s.recordMatrixSearch(ModeMatrix, resp, time.Since(start))
+			}
+			return resp, err
+		}
+		fallback := func(context.Context) (any, error) { return evalMatrixMapFallback(q) }
+		info := &statInfo{shape: q.arities}
+		return q.Key(), compute, fallback, info, nil
+	}))
 	mux.HandleFunc("/v1/select", s.serve("select", func(body []byte) (string, computeFunc, *statInfo, error) {
 		var req SelectRequest
 		if err := decodeStrict(body, &req); err != nil {
@@ -327,6 +393,16 @@ func (s *Server) Handler() http.Handler {
 	return s.withTelemetry(mux)
 }
 
+// recordMatrixSearch labels one matrix-map placement search in the
+// advisor_search_* series and the workload analytics, so dashboards see
+// matrix searches alongside the advisor's exact/pruned/fallback modes.
+func (s *Server) recordMatrixSearch(mode string, resp *MatrixMapResponse, elapsed time.Duration) {
+	ml := obs.L("mode", mode)
+	s.reg.Counter("advisor_class_misses_total", ml).AddInt(int64(resp.OrdersEvaluated))
+	s.reg.Histogram("advisor_search_seconds", obs.SearchBuckets(), ml).Observe(elapsed.Seconds())
+	s.stats.observeSearch(mode)
+}
+
 // health resolves the tri-state /healthz answer: draining beats degraded
 // beats healthy. Degraded (advisor breaker not closed, or an SLO burning
 // fast enough to page) still returns 200 — the service answers, just from
@@ -371,6 +447,8 @@ func apiEndpoint(path string) (string, bool) {
 	switch path {
 	case "/v1/map":
 		return "map", true
+	case "/v1/map/matrix":
+		return "map_matrix", true
 	case "/v1/advise":
 		return "advise", true
 	case "/v1/select":
@@ -481,7 +559,7 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 			if code == http.StatusOK {
 				// Only parsed, successfully served requests reach the
 				// workload analytics; rejects carry no shape to attribute.
-				s.stats.observe(info, cacheHit, time.Since(start))
+				s.stats.observe(name, info, cacheHit, time.Since(start))
 			}
 		}()
 		if s.draining.Load() {
@@ -550,12 +628,16 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 			// The heuristic is an order search too: label its latency and
 			// per-order cost mode="fallback", alongside the advisor's own
 			// exact/pruned series, so dashboards see the full mode split.
-			if ar, ok := resp.(*AdviseResponse); ok {
+			switch fr := resp.(type) {
+			case *AdviseResponse:
 				ml := obs.L("mode", advisor.ModeFallback)
-				s.reg.Counter("advisor_class_misses_total", ml).AddInt(int64(ar.Evaluated))
+				s.reg.Counter("advisor_class_misses_total", ml).AddInt(int64(fr.Evaluated))
 				s.reg.Histogram("advisor_search_seconds", obs.SearchBuckets(), ml).
 					Observe(time.Since(fstart).Seconds())
 				s.stats.observeSearch(advisor.ModeFallback)
+			case *MatrixMapResponse:
+				s.matrixFallbacks.Add(1)
+				s.recordMatrixSearch(advisor.ModeFallback, fr, time.Since(fstart))
 			}
 			writeJSON(w, append(b, '\n'))
 			return
@@ -581,7 +663,12 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 				return nil, err
 			}
 			b = append(b, '\n')
-			s.cache.Put(key, b)
+			// Degraded answers (e.g. an over-budget matrix map served from
+			// the σ fallback) opt out of caching so a healthy service
+			// re-runs the real search.
+			if c, ok := resp.(interface{ cacheable() bool }); !ok || c.cacheable() {
+				s.cache.Put(key, b)
+			}
 			return b, nil
 		})
 		flightSpan.SetAttr("shared", b2i(shared))

@@ -110,6 +110,7 @@ type workloadStats struct {
 	depth     [MaxDepth + 1]uint64
 	colls     map[string]uint64
 	modes     map[string]uint64
+	endpoints map[string]uint64
 	total     uint64
 	hits      uint64
 	evictions uint64
@@ -129,6 +130,7 @@ func newWorkloadStats(k int) *workloadStats {
 		classes:   make(map[string]*classStat, k),
 		colls:     make(map[string]uint64, 4),
 		modes:     make(map[string]uint64, 4),
+		endpoints: make(map[string]uint64, 8),
 		published: make(map[string]bool),
 	}
 }
@@ -151,8 +153,9 @@ func fnv64a(s string) uint64 {
 	return h
 }
 
-// observe records one successfully served request.
-func (st *workloadStats) observe(info *statInfo, hit bool, d time.Duration) {
+// observe records one successfully served request. The endpoint name is
+// bounded by the route table, so the endpoint mix needs no sketching.
+func (st *workloadStats) observe(endpoint string, info *statInfo, hit bool, d time.Duration) {
 	if st == nil || info == nil {
 		return
 	}
@@ -162,6 +165,9 @@ func (st *workloadStats) observe(info *statInfo, hit bool, d time.Duration) {
 	st.total++
 	if hit {
 		st.hits++
+	}
+	if endpoint != "" {
+		st.endpoints[endpoint]++
 	}
 	if depth := len(info.shape); depth >= 0 && depth <= MaxDepth {
 		st.depth[depth]++
@@ -274,9 +280,12 @@ type StatsReport struct {
 	Classes     []ClassReport     `json:"classes"`
 	Depths      []DepthCount      `json:"depth_histogram"`
 	Collectives map[string]uint64 `json:"collectives"`
-	// SearchModes splits advise order searches into
-	// exact / pruned / fallback.
+	// SearchModes splits order searches into
+	// exact / pruned / matrix / fallback.
 	SearchModes map[string]uint64 `json:"search_modes"`
+	// Endpoints is the request mix by API endpoint (map, map_matrix,
+	// advise, select, metrics_order).
+	Endpoints map[string]uint64 `json:"endpoints"`
 }
 
 // report snapshots the aggregator.
@@ -291,6 +300,7 @@ func (st *workloadStats) report() StatsReport {
 		Evictions:               st.evictions,
 		Collectives:             make(map[string]uint64, len(st.colls)),
 		SearchModes:             make(map[string]uint64, len(st.modes)),
+		Endpoints:               make(map[string]uint64, len(st.endpoints)),
 	}
 	if st.total > 0 {
 		rep.CacheHitRate = float64(st.hits) / float64(st.total)
@@ -300,6 +310,9 @@ func (st *workloadStats) report() StatsReport {
 	}
 	for k, v := range st.modes {
 		rep.SearchModes[k] = v
+	}
+	for k, v := range st.endpoints {
+		rep.Endpoints[k] = v
 	}
 	for d, n := range st.depth {
 		if n > 0 {
@@ -370,6 +383,9 @@ func (st *workloadStats) publish(reg *obs.Registry) {
 	}
 	for mode, n := range st.modes {
 		reg.Gauge("mapd_stats_search_requests", obs.L("mode", mode)).Set(float64(n))
+	}
+	for ep, n := range st.endpoints {
+		reg.Gauge("mapd_stats_endpoint_requests", obs.L("endpoint", ep)).Set(float64(n))
 	}
 }
 

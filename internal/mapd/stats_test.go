@@ -20,14 +20,14 @@ import (
 func TestWorkloadStatsSpaceSaving(t *testing.T) {
 	st := newWorkloadStats(2)
 	for i := 0; i < 5; i++ {
-		st.observe(&statInfo{shape: []int{2, 2}}, false, time.Millisecond)
+		st.observe("map", &statInfo{shape: []int{2, 2}}, false, time.Millisecond)
 	}
 	for i := 0; i < 3; i++ {
-		st.observe(&statInfo{shape: []int{2, 4}}, true, time.Millisecond)
+		st.observe("map", &statInfo{shape: []int{2, 4}}, true, time.Millisecond)
 	}
 	// A third class must evict the minimum (2,4) and inherit its count as
 	// the overestimation bound.
-	st.observe(&statInfo{shape: []int{4, 4}}, false, time.Millisecond)
+	st.observe("map", &statInfo{shape: []int{4, 4}}, false, time.Millisecond)
 
 	rep := st.report()
 	if rep.TrackedClasses != 2 || len(rep.Classes) != 2 {
@@ -73,7 +73,7 @@ func TestWorkloadStatsPercentiles(t *testing.T) {
 func TestWorkloadStatsDistinctEstimate(t *testing.T) {
 	st := newWorkloadStats(4)
 	for i := 0; i < 200; i++ {
-		st.observe(&statInfo{shape: []int{2, 2 + i}}, false, time.Millisecond)
+		st.observe("map", &statInfo{shape: []int{2, 2 + i}}, false, time.Millisecond)
 	}
 	got := st.report()
 	if got.TrackedClasses > 4 {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/commmatrix"
 )
 
 // MapRequest asks for rank ⇄ coordinate conversion (Algorithms 1 and 2)
@@ -136,6 +138,55 @@ type OrderMetricsResponse struct {
 	Legend       string `json:"legend"` // figure-legend rendering
 }
 
+// MatrixMapRequest asks for a communication-matrix-aware placement: the
+// procmap greedy construction plus local-search refinement, benchmarked
+// against (and never worse than) the best mixed-radix digit order.
+type MatrixMapRequest struct {
+	Hierarchy string `json:"hierarchy"`
+	// Matrix is the sparse symmetric communication matrix; Ranks must equal
+	// the hierarchy's core count.
+	Matrix commmatrix.Sparse `json:"matrix"`
+	// Refine toggles the local-search refinement (default true).
+	Refine *bool `json:"refine,omitempty"`
+	// Seed drives the refinement's deterministic sampling (default 0).
+	Seed int64 `json:"seed,omitempty"`
+	// MaxRounds bounds refinement sweeps (default: procmap's default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// MatrixMapResponse is the canonical answer to a MatrixMapRequest.
+type MatrixMapResponse struct {
+	Hierarchy []int `json:"hierarchy"`
+	Ranks     int   `json:"ranks"`
+	// MatrixDigest is the canonical content digest of the request matrix;
+	// responses are cacheable by (digest, hierarchy, options).
+	MatrixDigest string `json:"matrix_digest"`
+	// Placement maps rank → core.
+	Placement []int `json:"placement"`
+	// Cost is Placement's weighted crossing cost; GreedyCost is the cost
+	// before refinement (absent in fallback answers).
+	Cost       float64 `json:"cost"`
+	GreedyCost float64 `json:"greedy_cost,omitempty"`
+	// BestOrder / BestOrderCost describe the σ baseline the placement was
+	// benchmarked against; ImprovementPct is the matrix-aware win over it.
+	BestOrder       []int   `json:"best_order"`
+	BestOrderCost   float64 `json:"best_order_cost"`
+	ImprovementPct  float64 `json:"improvement_pct"`
+	OrdersEvaluated int     `json:"orders_evaluated"`
+	Rounds          int     `json:"rounds,omitempty"`
+	Swaps           int     `json:"swaps,omitempty"`
+	Seed            int64   `json:"seed"`
+	// SearchMode is "matrix" for the full search or "fallback" when the
+	// answer is the bare σ-order baseline (breaker open or over budget);
+	// fallback answers are additionally flagged Degraded and never cached.
+	SearchMode string `json:"search_mode"`
+	Degraded   bool   `json:"degraded,omitempty"`
+}
+
+// cacheable keeps degraded fallback answers out of the result cache, so a
+// recovered service re-runs the real search.
+func (r *MatrixMapResponse) cacheable() bool { return !r.Degraded }
+
 // errorBody is the structured error envelope of every non-2xx response.
 type errorBody struct {
 	Error errorDetail `json:"error"`
@@ -193,4 +244,12 @@ func (q *parsedSelect) Key() string {
 // Key returns the canonical cache key of the parsed request.
 func (q *parsedOrderMetrics) Key() string {
 	return "metrics|" + intsKey(q.arities) + "|" + intsKey(q.sigma) + "|" + strconv.Itoa(q.comm)
+}
+
+// Key returns the canonical cache key of the parsed request: the matrix
+// participates via its content digest, so identical traffic submitted with
+// edges in any order or orientation shares a key.
+func (q *parsedMatrixMap) Key() string {
+	return fmt.Sprintf("mapmatrix|%s|%s|s%d|r%d|f%v",
+		intsKey(q.arities), q.digest, q.seed, q.rounds, q.refine)
 }

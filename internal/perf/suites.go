@@ -229,6 +229,7 @@ func Suites() []Suite {
 		KernelSuite(),
 		MixedRadixSuite(),
 		OrderSearchSuite(),
+		ProcmapSuite(),
 		ServingSuite(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })

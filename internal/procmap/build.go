@@ -1,0 +1,135 @@
+// The greedy bottom-up construction: starting from singleton process
+// groups, repeatedly merge the heaviest-communicating groups into
+// super-groups of the current level's arity — innermost level first — so
+// chatty processes land in the same lowest domain, then the same next
+// domain, and so on (the TreeMatch family's strategy, run bottom-up over
+// the paper's explicit per-level arities). Every tie breaks toward the
+// lowest group index, making the construction fully deterministic.
+
+package procmap
+
+import (
+	"fmt"
+
+	"repro/internal/commmatrix"
+	"repro/internal/topology"
+)
+
+// Build computes the greedy bottom-up placement (rank → core). The matrix
+// size must equal the hierarchy's core count.
+func Build(m *commmatrix.Matrix, h topology.Hierarchy) ([]int, error) {
+	n := m.Size()
+	if n != h.Size() {
+		return nil, fmt.Errorf("procmap: %d ranks for a machine with %d cores", n, h.Size())
+	}
+	ar := h.Arities()
+	// groups[i] is the ordered member-rank list of group i; coarse is the
+	// dense group×group volume matrix of the current level.
+	groups := make([][]int, n)
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+	coarse := make([]float64, n*n)
+	m.Edges(func(a, b int, v float64) {
+		coarse[a*n+b] = v
+		coarse[b*n+a] = v
+	})
+	g := n
+	for l := len(ar) - 1; l >= 0; l-- {
+		k := ar[l]
+		if k == 1 {
+			continue
+		}
+		ng := g / k
+		used := make([]bool, g)
+		superOf := make([]int, g)
+		// tot[i] is group i's remaining volume to other unused groups — the
+		// seed-selection score, maintained incrementally as groups are taken.
+		tot := make([]float64, g)
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				if j != i {
+					tot[i] += coarse[i*g+j]
+				}
+			}
+		}
+		take := func(i int) {
+			used[i] = true
+			for j := 0; j < g; j++ {
+				if !used[j] {
+					tot[j] -= coarse[j*g+i]
+				}
+			}
+		}
+		newGroups := make([][]int, 0, ng)
+		gain := make([]float64, g) // volume from each unused group to the growing super
+		for s := 0; s < ng; s++ {
+			// Seed: the unused group with the most remaining traffic.
+			seed := -1
+			for i := 0; i < g; i++ {
+				if used[i] {
+					continue
+				}
+				if seed < 0 || tot[i] > tot[seed] {
+					seed = i
+				}
+			}
+			take(seed)
+			members := append(make([]int, 0, k), seed)
+			for i := 0; i < g; i++ {
+				gain[i] = coarse[i*g+seed]
+			}
+			for len(members) < k {
+				pick := -1
+				for i := 0; i < g; i++ {
+					if used[i] {
+						continue
+					}
+					if pick < 0 || gain[i] > gain[pick] {
+						pick = i
+					}
+				}
+				take(pick)
+				members = append(members, pick)
+				for i := 0; i < g; i++ {
+					if !used[i] {
+						gain[i] += coarse[i*g+pick]
+					}
+				}
+			}
+			for _, i := range members {
+				superOf[i] = s
+			}
+			var merged []int
+			for _, i := range members {
+				merged = append(merged, groups[i]...)
+			}
+			newGroups = append(newGroups, merged)
+		}
+		// Coarsen the volume matrix onto the supers.
+		nc := make([]float64, ng*ng)
+		for i := 0; i < g; i++ {
+			for j := i + 1; j < g; j++ {
+				v := coarse[i*g+j]
+				if v == 0 {
+					continue
+				}
+				si, sj := superOf[i], superOf[j]
+				if si == sj {
+					continue
+				}
+				nc[si*ng+sj] += v
+				nc[sj*ng+si] += v
+			}
+		}
+		coarse, groups, g = nc, newGroups, ng
+	}
+	// One group remains; its member order enumerates the cores. Because
+	// each merge keeps deeper groups contiguous, positions nest correctly
+	// into the hierarchy's domains.
+	placement := make([]int, n)
+	for pos, r := range groups[0] {
+		placement[r] = pos
+	}
+	return placement, nil
+}

@@ -1,0 +1,251 @@
+// Package procmap maps application processes onto a deeply hierarchical
+// machine directly from a sparse communication matrix, instead of only
+// permuting the paper's k! mixed-radix digit orders. It follows the
+// hierarchical process-mapping line of work (Schulz & Träff's sparse
+// quadratic assignment; Schulz & Woydt's shared-memory hierarchical
+// mapping): a greedy bottom-up construction packs heavy-traffic process
+// groups into hierarchy domains level by level, and a goroutine-
+// partitioned local search refines the result with pairwise swaps inside
+// each level's domains.
+//
+// The objective is the closed-form crossing-cost model of §3.3: each
+// traffic edge pays its volume times a per-level weight selected by the
+// outermost hierarchy level the pair's cores differ in. With the default
+// weights this is exactly topology.CrossCost (and therefore
+// commmatrix.Cost); SpecWeights derives calibrated weights from a
+// netmodel machine description instead.
+//
+// Everything is deterministic for a fixed Options.Seed: the parallel
+// refinement seeds one RNG per (round, level, domain), so results are
+// independent of the worker count and race-clean by construction
+// (parallel propose over a read-only snapshot, sequential commit).
+package procmap
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/commmatrix"
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+)
+
+// Options tunes Map and Refine.
+type Options struct {
+	// Seed drives the refinement's candidate sampling. Two runs with the
+	// same seed (and any worker counts) produce identical placements.
+	Seed int64
+	// Workers bounds the refinement goroutines (0 = GOMAXPROCS).
+	Workers int
+	// MaxRounds bounds refinement sweeps over the levels (0 = 16).
+	MaxRounds int
+	// NoRefine stops after the greedy construction.
+	NoRefine bool
+	// Weights holds one pair cost per hierarchy level: the price of an
+	// edge whose endpoints first differ at that level. Nil selects
+	// DefaultWeights (the §3.3 crossing cost).
+	Weights []float64
+	// InitPlacement, when non-nil, is an additional starting placement
+	// (rank → core): refinement starts from it when it costs less than the
+	// greedy construction. Callers that already ran BestOrder pass its
+	// placement here so Map never answers worse than the σ baseline.
+	InitPlacement []int
+	// NoOrderInit disables the automatic BestOrder initialization that Map
+	// performs when InitPlacement is nil and the hierarchy is shallow
+	// enough to enumerate (the pure greedy+refine path, benchmarked by the
+	// perf suite).
+	NoOrderInit bool
+}
+
+const defaultMaxRounds = 16
+
+func (o Options) withDefaults(h topology.Hierarchy) Options {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = defaultMaxRounds
+	}
+	if o.Weights == nil {
+		o.Weights = DefaultWeights(h)
+	}
+	return o
+}
+
+// Result is a computed mapping.
+type Result struct {
+	// Placement maps rank → core.
+	Placement []int
+	// Cost is the weighted crossing cost of Placement.
+	Cost float64
+	// GreedyCost is the cost after the greedy construction, before any
+	// refinement (Cost == GreedyCost when refinement is disabled or finds
+	// nothing).
+	GreedyCost float64
+	// Rounds and Swaps describe the refinement effort actually spent.
+	Rounds int
+	Swaps  int
+}
+
+// DefaultWeights returns the §3.3 crossing-cost weights: a pair first
+// differing at level l costs depth−l, exactly topology.CrossCost.
+func DefaultWeights(h topology.Hierarchy) []float64 {
+	k := h.Depth()
+	w := make([]float64, k)
+	for l := 0; l < k; l++ {
+		w[l] = float64(k - l)
+	}
+	return w
+}
+
+// SpecWeights derives per-level pair costs from a netmodel machine
+// description: the cost of a pair whose cores first differ at level l is
+// that crossing's one-way latency plus msgBytes over the narrowest link on
+// the path (the level's bus and every up-link climbed to reach it). When
+// the spec carries no timing information at all the function falls back to
+// DefaultWeights, so it is always safe to call.
+func SpecWeights(spec netmodel.Spec, msgBytes float64) []float64 {
+	k := len(spec.Levels)
+	w := make([]float64, k)
+	informative := false
+	for l := 0; l < k; l++ {
+		cost := spec.Levels[l].Latency
+		minBW := math.Inf(1)
+		if bw := spec.Levels[l].BusBandwidth; bw > 0 {
+			minBW = bw
+		}
+		for j := l + 1; j < k; j++ {
+			if bw := spec.Levels[j].UpBandwidth; bw > 0 && bw < minBW {
+				minBW = bw
+			}
+		}
+		if !math.IsInf(minBW, 1) && msgBytes > 0 {
+			cost += msgBytes / minBW
+		}
+		w[l] = cost
+		if cost > 0 {
+			informative = true
+		}
+	}
+	if !informative {
+		return DefaultWeights(spec.Hierarchy())
+	}
+	return w
+}
+
+// costModel evaluates pair costs without per-call allocation: suffix[l] is
+// the core count of one level-l domain (suffix[k] = 1), so the first
+// differing level of two cores falls out of repeated division.
+type costModel struct {
+	suffix []int
+	w      []float64
+}
+
+func newCostModel(h topology.Hierarchy, weights []float64) (*costModel, error) {
+	ar := h.Arities()
+	k := len(ar)
+	if len(weights) != k {
+		return nil, fmt.Errorf("procmap: %d weights for a depth-%d hierarchy", len(weights), k)
+	}
+	for l, wl := range weights {
+		if math.IsNaN(wl) || math.IsInf(wl, 0) || wl < 0 {
+			return nil, fmt.Errorf("procmap: level %d weight %g is not a finite non-negative number", l, wl)
+		}
+	}
+	suffix := make([]int, k+1)
+	suffix[k] = 1
+	for l := k - 1; l >= 0; l-- {
+		suffix[l] = suffix[l+1] * ar[l]
+	}
+	return &costModel{suffix: suffix, w: append([]float64(nil), weights...)}, nil
+}
+
+// pairCost returns the weight of the outermost level cores a and b differ
+// in, or 0 when they are the same core.
+func (c *costModel) pairCost(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	for l := 0; l < len(c.w); l++ {
+		s := c.suffix[l+1]
+		if a/s != b/s {
+			return c.w[l]
+		}
+		a, b = a%s, b%s
+	}
+	return 0
+}
+
+// Cost evaluates a rank→core placement under the weighted crossing-cost
+// objective. Nil weights select DefaultWeights, making the result equal to
+// commmatrix.Cost.
+func Cost(m *commmatrix.Matrix, h topology.Hierarchy, placement []int, weights []float64) (float64, error) {
+	if len(placement) != m.Size() {
+		return 0, fmt.Errorf("procmap: placement has %d ranks, matrix %d", len(placement), m.Size())
+	}
+	if weights == nil {
+		weights = DefaultWeights(h)
+	}
+	cm, err := newCostModel(h, weights)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	m.Edges(func(a, b int, v float64) {
+		total += v * cm.pairCost(placement[a], placement[b])
+	})
+	return total, nil
+}
+
+// orderInitMaxDepth bounds the automatic BestOrder initialization: beyond
+// this depth the k! enumeration is no longer a cheap warm start.
+const orderInitMaxDepth = 7
+
+// Map computes a matrix-aware rank→core placement: greedy bottom-up
+// construction, then parallel local-search refinement from the better of
+// the greedy and best-σ-order starting points (so the result never loses
+// to the mixed-radix baseline the endpoint falls back to). The matrix size
+// must equal the hierarchy's core count. The context cancels the
+// refinement; the greedy phase is fast enough to always run to completion.
+func Map(ctx context.Context, m *commmatrix.Matrix, h topology.Hierarchy, opts Options) (*Result, error) {
+	opts = opts.withDefaults(h)
+	cm, err := newCostModel(h, opts.Weights)
+	if err != nil {
+		return nil, err
+	}
+	placement, err := Build(m, h)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Placement: placement}
+	res.GreedyCost = costOf(m, cm, placement)
+	res.Cost = res.GreedyCost
+	if opts.NoRefine {
+		return res, nil
+	}
+	init := opts.InitPlacement
+	if init == nil && !opts.NoOrderInit && h.Depth() <= orderInitMaxDepth {
+		if _, inv, _, oerr := BestOrder(m, h, opts.Weights); oerr == nil {
+			init = inv
+		}
+	}
+	if init != nil && len(init) == m.Size() {
+		if ic := costOf(m, cm, init); ic < res.GreedyCost {
+			copy(res.Placement, init)
+			res.Cost = ic
+		}
+	}
+	rounds, swaps, err := refine(ctx, m, cm, placement, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Rounds, res.Swaps = rounds, swaps
+	res.Cost = costOf(m, cm, placement)
+	return res, nil
+}
+
+func costOf(m *commmatrix.Matrix, cm *costModel, placement []int) float64 {
+	var total float64
+	m.Edges(func(a, b int, v float64) {
+		total += v * cm.pairCost(placement[a], placement[b])
+	})
+	return total
+}

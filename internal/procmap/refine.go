@@ -1,0 +1,371 @@
+// The parallel local-search refinement, Schulz & Woydt style: sweep the
+// hierarchy levels; at each level partition the enclosing domains among
+// goroutines; each worker proposes a swap sequence for its domains against
+// a read-only snapshot of the placement; then a sequential commit pass
+// replays each proposal on the current state and applies the best
+// still-improving prefix in domain order.
+//
+// Two proposal kinds run per domain: the best single cross-child swap
+// (exhaustive for small domains, deterministically sampled for large
+// ones), and — when the child domains are small enough — a bounded
+// Kernighan–Lin chain between one rotating pair of sibling children.
+// The KL chain applies the locally best swap even when its gain is
+// negative and keeps the best cumulative prefix, so it escapes the
+// single-swap local optima that digit-order placements often are
+// (regrouping half a radix class requires several coordinated swaps whose
+// first steps lose before the last ones win).
+//
+// Determinism does not depend on the worker count: candidate sampling is
+// driven by one RNG per (seed, round, level, domain), KL pair rotation by
+// (round, domain), and the commit order is the domain order — so a
+// 1-worker and a 16-worker run produce the same placement. Races cannot
+// occur by construction: the propose phase only reads shared state and
+// writes disjoint proposal slots.
+
+package procmap
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/commmatrix"
+)
+
+const (
+	// exhaustivePairLimit bounds the per-domain cross-child pair count up
+	// to which the propose phase scans every pair; larger domains sample.
+	exhaustivePairLimit = 1024
+	// sampleFloor / sampleFactor size the sampled candidate set: at least
+	// sampleFloor pairs, scaling with the domain's core count.
+	sampleFloor  = 128
+	sampleFactor = 2
+	// klMaxChild caps the child-domain size the Kernighan–Lin chain runs
+	// on: each chain step scans child² candidate pairs, so chains stay
+	// cheap exactly where the radix-class locks live (small inner levels).
+	klMaxChild = 16
+	// improveEps is the minimum absolute gain a swap must have; it guards
+	// against oscillating on floating-point noise.
+	improveEps = 1e-9
+)
+
+// neighbor is one adjacency entry of a rank.
+type neighbor struct {
+	to  int
+	vol float64
+}
+
+// swapPair exchanges the ranks on cores c1 and c2.
+type swapPair struct{ c1, c2 int }
+
+// proposal is a worker's swap sequence for one domain. The commit pass
+// replays it against the live placement and applies the best prefix.
+type proposal struct {
+	chain []swapPair
+	ok    bool
+}
+
+// refine improves placement in place and reports the rounds and swaps
+// performed. It honors ctx between domains.
+func refine(ctx context.Context, m *commmatrix.Matrix, cm *costModel, placement []int, opts Options) (rounds, swaps int, err error) {
+	n := m.Size()
+	adj := make([][]neighbor, n)
+	m.Edges(func(a, b int, v float64) {
+		adj[a] = append(adj[a], neighbor{b, v})
+		adj[b] = append(adj[b], neighbor{a, v})
+	})
+	owner := make([]int, n) // core → rank
+	for r, c := range placement {
+		owner[c] = r
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	k := len(cm.w)
+	for round := 0; round < opts.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return rounds, swaps, err
+		}
+		roundSwaps := 0
+		for l := 0; l < k; l++ {
+			size := cm.suffix[l]    // cores per enclosing domain
+			child := cm.suffix[l+1] // cores per child domain
+			arity := size / child
+			if arity < 2 {
+				continue
+			}
+			domains := n / size
+			proposals := make([]proposal, domains)
+			var wg sync.WaitGroup
+			for w := 0; w < workers && w < domains; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for d := w; d < domains; d += workers {
+						if ctx.Err() != nil {
+							return
+						}
+						proposals[d] = propose(adj, cm, placement, owner,
+							opts.Seed, round, l, d, size, child)
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := ctx.Err(); err != nil {
+				return rounds, swaps, err
+			}
+			// Sequential commit in domain order: replay each proposal against
+			// the current placement (an earlier commit this level may have
+			// changed a neighbor's position) and apply the best prefix that
+			// still improves.
+			for d := 0; d < domains; d++ {
+				p := proposals[d]
+				if !p.ok {
+					continue
+				}
+				roundSwaps += commitChain(adj, cm, placement, owner, p.chain)
+			}
+		}
+		rounds++
+		swaps += roundSwaps
+		if roundSwaps == 0 {
+			break
+		}
+	}
+	return rounds, swaps, nil
+}
+
+// propose builds one domain's swap sequence: the better of the best single
+// cross-child swap and a Kernighan–Lin chain on a rotating pair of child
+// domains (when the children are small enough for exhaustive chain steps).
+func propose(adj [][]neighbor, cm *costModel, placement, owner []int, seed int64, round, level, dom, size, child int) proposal {
+	best, bestGain := proposeSwap(adj, cm, placement, owner, seed, round, level, dom, size, child)
+	if child >= 2 && child <= klMaxChild {
+		arity := size / child
+		npairs := arity * (arity - 1) / 2
+		a, b := unrankPair((round+dom)%npairs, arity)
+		base := dom * size
+		st := newTentState(placement, owner)
+		chain, gain := klChain(adj, cm, st, base+a*child, base+b*child, child)
+		if len(chain) > 0 && gain > bestGain {
+			return proposal{chain: chain, ok: true}
+		}
+	}
+	return best
+}
+
+// unrankPair maps an index in [0, arity·(arity−1)/2) to the idx-th pair
+// (a, b) with a < b < arity, in lexicographic order.
+func unrankPair(idx, arity int) (int, int) {
+	for a := 0; a < arity-1; a++ {
+		row := arity - 1 - a
+		if idx < row {
+			return a, a + 1 + idx
+		}
+		idx -= row
+	}
+	return arity - 2, arity - 1 // unreachable for valid idx
+}
+
+// proposeSwap scans candidate cross-child core pairs of one domain and
+// returns the pair with the largest gain (if any improves). Domains whose
+// cross pair count is small are scanned exhaustively; larger ones draw a
+// deterministic sample from the (seed, round, level, domain) RNG.
+func proposeSwap(adj [][]neighbor, cm *costModel, placement, owner []int, seed int64, round, level, dom, size, child int) (proposal, float64) {
+	base := dom * size
+	arity := size / child
+	crossPairs := size * size * (arity - 1) / arity / 2
+	var best proposal
+	bestGain := improveEps
+	consider := func(c1, c2 int) {
+		if g := swapGain(adj, cm, placement, owner, c1, c2); g > bestGain {
+			bestGain = g
+			best = proposal{chain: []swapPair{{c1, c2}}, ok: true}
+		}
+	}
+	if crossPairs <= exhaustivePairLimit {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if i/child != j/child {
+					consider(base+i, base+j)
+				}
+			}
+		}
+		return best, bestGain
+	}
+	rng := rand.New(rand.NewSource(mix(seed, round, level, dom)))
+	samples := sampleFactor * size
+	if samples < sampleFloor {
+		samples = sampleFloor
+	}
+	for s := 0; s < samples; s++ {
+		i := rng.Intn(size)
+		j := rng.Intn(size)
+		if i/child == j/child {
+			continue
+		}
+		consider(base+i, base+j)
+	}
+	return best, bestGain
+}
+
+// tentState overlays tentative swaps on a read-only placement/owner
+// snapshot, so KL chains can be explored (and later replayed during
+// commit) without mutating shared state.
+type tentState struct {
+	placement, owner []int
+	tp               map[int]int // rank → core overrides
+	to               map[int]int // core → rank overrides
+}
+
+func newTentState(placement, owner []int) *tentState {
+	return &tentState{placement: placement, owner: owner,
+		tp: make(map[int]int), to: make(map[int]int)}
+}
+
+func (t *tentState) place(r int) int {
+	if c, ok := t.tp[r]; ok {
+		return c
+	}
+	return t.placement[r]
+}
+
+func (t *tentState) own(c int) int {
+	if r, ok := t.to[c]; ok {
+		return r
+	}
+	return t.owner[c]
+}
+
+func (t *tentState) swap(c1, c2 int) {
+	u, v := t.own(c1), t.own(c2)
+	t.tp[u], t.tp[v] = c2, c1
+	t.to[c1], t.to[c2] = v, u
+}
+
+// gain is swapGain evaluated on the tentative state.
+func (t *tentState) gain(adj [][]neighbor, cm *costModel, c1, c2 int) float64 {
+	u, v := t.own(c1), t.own(c2)
+	var delta float64
+	for _, nb := range adj[u] {
+		if nb.to == v {
+			continue
+		}
+		pc := t.place(nb.to)
+		delta += nb.vol * (cm.pairCost(c1, pc) - cm.pairCost(c2, pc))
+	}
+	for _, nb := range adj[v] {
+		if nb.to == u {
+			continue
+		}
+		pc := t.place(nb.to)
+		delta += nb.vol * (cm.pairCost(c2, pc) - cm.pairCost(c1, pc))
+	}
+	return delta
+}
+
+// klChain runs a bounded Kernighan–Lin exchange between two sibling child
+// domains of s cores each (bases baseA, baseB): repeatedly apply the best
+// available swap — even at a loss — locking the touched cores, and return
+// the prefix with the largest positive cumulative gain (empty if none).
+func klChain(adj [][]neighbor, cm *costModel, st *tentState, baseA, baseB, s int) ([]swapPair, float64) {
+	lockedA := make([]bool, s)
+	lockedB := make([]bool, s)
+	var chain []swapPair
+	cum, bestCum := 0.0, improveEps
+	bestLen := 0
+	for step := 0; step < s; step++ {
+		bg := math.Inf(-1)
+		bi, bj := -1, -1
+		for i := 0; i < s; i++ {
+			if lockedA[i] {
+				continue
+			}
+			for j := 0; j < s; j++ {
+				if lockedB[j] {
+					continue
+				}
+				if g := st.gain(adj, cm, baseA+i, baseB+j); g > bg {
+					bg, bi, bj = g, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		st.swap(baseA+bi, baseB+bj)
+		lockedA[bi], lockedB[bj] = true, true
+		cum += bg
+		chain = append(chain, swapPair{baseA + bi, baseB + bj})
+		if cum > bestCum {
+			bestCum = cum
+			bestLen = len(chain)
+		}
+	}
+	if bestLen == 0 {
+		return nil, 0
+	}
+	return chain[:bestLen], bestCum
+}
+
+// commitChain replays a proposed swap sequence against the live placement,
+// finds the prefix with the best cumulative gain under current conditions,
+// and applies it for real. Returns the number of swaps applied.
+func commitChain(adj [][]neighbor, cm *costModel, placement, owner []int, chain []swapPair) int {
+	st := newTentState(placement, owner)
+	cum, bestCum := 0.0, improveEps
+	bestLen := 0
+	for i, sp := range chain {
+		cum += st.gain(adj, cm, sp.c1, sp.c2)
+		st.swap(sp.c1, sp.c2)
+		if cum > bestCum {
+			bestCum = cum
+			bestLen = i + 1
+		}
+	}
+	for _, sp := range chain[:bestLen] {
+		u, v := owner[sp.c1], owner[sp.c2]
+		placement[u], placement[v] = sp.c2, sp.c1
+		owner[sp.c1], owner[sp.c2] = v, u
+	}
+	return bestLen
+}
+
+// swapGain returns the cost decrease of exchanging the ranks on cores c1
+// and c2 (positive = improvement). The c1↔c2 edge itself is unaffected:
+// pair costs are symmetric.
+func swapGain(adj [][]neighbor, cm *costModel, placement, owner []int, c1, c2 int) float64 {
+	u, v := owner[c1], owner[c2]
+	var delta float64
+	for _, nb := range adj[u] {
+		if nb.to == v {
+			continue
+		}
+		pc := placement[nb.to]
+		delta += nb.vol * (cm.pairCost(c1, pc) - cm.pairCost(c2, pc))
+	}
+	for _, nb := range adj[v] {
+		if nb.to == u {
+			continue
+		}
+		pc := placement[nb.to]
+		delta += nb.vol * (cm.pairCost(c2, pc) - cm.pairCost(c1, pc))
+	}
+	return delta
+}
+
+// mix hashes the sampling coordinates into an RNG seed (splitmix64-style
+// finalizer over the packed words).
+func mix(seed int64, round, level, dom int) int64 {
+	z := uint64(seed)
+	for _, v := range [3]uint64{uint64(round), uint64(level), uint64(dom)} {
+		z += 0x9e3779b97f4a7c15 + v
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}

@@ -1,0 +1,73 @@
+// Synthetic traffic generators for the skews the mapper is built for:
+// halo exchanges (grid neighborhoods that no digit order can pack) and
+// splatt-style layer collectives over a process grid. The benchmark suite
+// and the load generator share these; the validation tests prefer
+// matrices collected from actual simulator runs.
+
+package procmap
+
+import (
+	"fmt"
+
+	"repro/internal/commmatrix"
+)
+
+// Halo returns the communication matrix of a 2D periodic halo exchange on
+// a rows×cols process grid (rank = row*cols + col): every rank exchanges
+// bytes with its four grid neighbors.
+func Halo(rows, cols int, bytes float64) (*commmatrix.Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("procmap: non-positive halo grid %dx%d", rows, cols)
+	}
+	m := commmatrix.New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			self := r*cols + c
+			right := r*cols + (c+1)%cols
+			down := ((r+1)%rows)*cols + c
+			// Adding only the forward neighbors covers each link once (Add
+			// records both directions); degenerate 1-wide axes fold onto self
+			// and are dropped by Add.
+			m.Add(self, right, bytes)
+			m.Add(self, down, bytes)
+		}
+	}
+	return m, nil
+}
+
+// GridLayers returns the layer-collective traffic of a g0×g1×g2 process
+// grid (rank = (i·g1 + j)·g2 + k, the medium-grained CPD decomposition):
+// for each tensor mode m, every mode-m layer — the ranks sharing that
+// mode's coordinate — runs an all-to-all of modeBytes[m] per pair. Skewed
+// modeBytes reproduce splatt's hub modes, where one mode's layers carry
+// most of the volume.
+func GridLayers(g [3]int, modeBytes [3]float64) (*commmatrix.Matrix, error) {
+	n := g[0] * g[1] * g[2]
+	if g[0] <= 0 || g[1] <= 0 || g[2] <= 0 {
+		return nil, fmt.Errorf("procmap: non-positive grid %v", g)
+	}
+	m := commmatrix.New(n)
+	coord := func(r int) (int, int, int) {
+		return r / (g[1] * g[2]), r / g[2] % g[1], r % g[2]
+	}
+	for a := 0; a < n; a++ {
+		ai, aj, ak := coord(a)
+		for b := a + 1; b < n; b++ {
+			bi, bj, bk := coord(b)
+			var v float64
+			if ai == bi {
+				v += modeBytes[0]
+			}
+			if aj == bj {
+				v += modeBytes[1]
+			}
+			if ak == bk {
+				v += modeBytes[2]
+			}
+			if v > 0 {
+				m.Add(a, b, v)
+			}
+		}
+	}
+	return m, nil
+}
