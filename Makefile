@@ -6,7 +6,7 @@ SMOKE_TRACE ?= /tmp/mrserved-smoke-trace.json
 SMOKE_ADDR  ?= 127.0.0.1:18077
 SMOKE_DEBUG ?= 127.0.0.1:18078
 
-.PHONY: all build test check race smoke bench bench-gate clean
+.PHONY: all build test check race smoke smoke-fleet bench bench-gate clean
 
 all: build
 
@@ -20,7 +20,7 @@ test:
 # service, its telemetry layer, the simulator core, and the
 # fault-injection layer.
 race:
-	$(GO) test -race ./internal/mapd/... ./internal/obs/... ./internal/sim/... ./internal/fault/... ./internal/mpi/... ./internal/procmap/...
+	$(GO) test -race ./internal/mapd/... ./internal/obs/... ./internal/sim/... ./internal/fault/... ./internal/mpi/... ./internal/procmap/... ./internal/fleet/...
 
 # check is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build (including the serving commands), the full test suite under the
@@ -37,12 +37,13 @@ check:
 		echo "staticcheck not installed; skipping"; \
 	fi
 	$(GO) build ./...
-	$(GO) build ./cmd/mrserved ./cmd/mrload
+	$(GO) build ./cmd/mrserved ./cmd/mrload ./cmd/mrgate
 	$(GO) test -race ./...
 	$(GO) run ./cmd/mrbench -fig 3 -maxsize 16KB -iters 1 \
 		-faults "straggle:rank=3,factor=4;link:level=1,degrade=0.8" > /dev/null
 	$(GO) run ./cmd/mrperf smoke
 	$(MAKE) smoke
+	$(MAKE) smoke-fleet
 
 # smoke boots a real mrserved with the pprof debug listener and trace
 # export, probes every telemetry surface (/metrics incl. runtime-sampler
@@ -83,10 +84,73 @@ smoke:
 	rm -f /tmp/mrserved.smoke /tmp/mrtrace.smoke /tmp/mrmap.smoke /tmp/mrmap-smoke-matrix.json; \
 	echo "smoke: serving telemetry OK ($(SMOKE_TRACE))"
 
+# smoke-fleet is the chaos e2e: three real mrserved replicas behind
+# mrgate, mrload closed-loop traffic through the gate, and a seeded fault
+# plan that picks the victim replica and the kill time. Mid-run the victim
+# dies; the run must finish with zero unretried failures (gave_up = 0, no
+# client-visible 5xx). Afterwards the surviving fleet must answer
+# non-degraded, and with every replica killed the gate must still answer,
+# flagged degraded, from its local σ-order fallback.
+SMOKE_FLEET_GATE ?= 127.0.0.1:18070
+SMOKE_FLEET_R0   ?= 127.0.0.1:18071
+SMOKE_FLEET_R1   ?= 127.0.0.1:18072
+SMOKE_FLEET_R2   ?= 127.0.0.1:18073
+SMOKE_FLEET_PLAN ?= seed=42;replica-chaos:kills=1,by=1.6s@t=1.1s
+
+smoke-fleet:
+	$(GO) build -o /tmp/mrserved.smoke ./cmd/mrserved
+	$(GO) build -o /tmp/mrgate.smoke ./cmd/mrgate
+	$(GO) build -o /tmp/mrload.smoke ./cmd/mrload
+	@set -e; \
+	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R0) -name r0 -announce 50ms & p0=$$!; \
+	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R1) -name r1 -announce 50ms & p1=$$!; \
+	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R2) -name r2 -announce 50ms & p2=$$!; \
+	/tmp/mrgate.smoke -addr $(SMOKE_FLEET_GATE) \
+		-replicas http://$(SMOKE_FLEET_R0),http://$(SMOKE_FLEET_R1),http://$(SMOKE_FLEET_R2) \
+		-check-interval 100ms -backoff 1ms -max-backoff 20ms -announce 50ms & pg=$$!; \
+	trap 'kill $$p0 $$p1 $$p2 $$pg 2>/dev/null || true' EXIT; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(SMOKE_FLEET_GATE)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "smoke-fleet: mrgate never came up on $(SMOKE_FLEET_GATE)"; exit 1; }; \
+	victim=$$(/tmp/mrgate.smoke -print-plan -plan '$(SMOKE_FLEET_PLAN)' -fleet-size 3 \
+		| awk '/^kill/{print $$2; exit}'); \
+	killat=$$(/tmp/mrgate.smoke -print-plan -plan '$(SMOKE_FLEET_PLAN)' -fleet-size 3 \
+		| awk '/^kill/{gsub(/[@s]/,"",$$3); print $$3; exit}'); \
+	echo "smoke-fleet: seeded plan kills r$$victim at t=$${killat}s"; \
+	/tmp/mrload.smoke -url http://$(SMOKE_FLEET_GATE) -c 16 -warmup 300ms -d 3s \
+		-backoff 1ms -maxbackoff 50ms -json > /tmp/mrload-fleet.json & pl=$$!; \
+	sleep $$killat; \
+	eval vpid=\$$p$$victim; \
+	kill $$vpid 2>/dev/null || { echo "smoke-fleet: victim r$$victim already gone"; exit 1; }; \
+	wait $$pl || { echo "smoke-fleet: mrload run failed"; cat /tmp/mrload-fleet.json; exit 1; }; \
+	grep -q '"gave_up": 0' /tmp/mrload-fleet.json || \
+		{ echo "smoke-fleet: client-visible unretried failures"; cat /tmp/mrload-fleet.json; exit 1; }; \
+	grep -q '"other_5xx": 0' /tmp/mrload-fleet.json || \
+		{ echo "smoke-fleet: unretried 5xx leaked through the gate"; cat /tmp/mrload-fleet.json; exit 1; }; \
+	recovered=$$(curl -fsS -X POST -d '{"hierarchy":"2,2,4","rank":5}' http://$(SMOKE_FLEET_GATE)/v1/map); \
+	case "$$recovered" in *'"degraded":true'*) \
+		echo "smoke-fleet: fleet still degraded after recovery: $$recovered"; exit 1;; esac; \
+	kill $$p0 $$p1 $$p2 2>/dev/null || true; \
+	ok=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(SMOKE_FLEET_GATE)/healthz | grep -q degraded; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test $$ok = 1 || { echo "smoke-fleet: gate never reported degraded with the fleet down"; exit 1; }; \
+	fallback=$$(curl -fsS -X POST -d '{"machine":"hydra","nodes":4,"collective":"alltoall","comm_size":16}' \
+		http://$(SMOKE_FLEET_GATE)/v1/advise); \
+	case "$$fallback" in *'"degraded":true'*) ;; *) \
+		echo "smoke-fleet: fleet-down advise not served degraded: $$fallback"; exit 1;; esac; \
+	kill -TERM $$pg; wait $$pg; \
+	trap - EXIT; \
+	rm -f /tmp/mrserved.smoke /tmp/mrgate.smoke /tmp/mrload.smoke /tmp/mrload-fleet.json; \
+	echo "smoke-fleet: kill/failover/fallback OK (victim r$$victim from seeded plan)"
+
 # BENCH_SUITES are the committed trajectory baselines the regression gate
 # compares against; BENCH_GIT/BENCH_TS stamp fresh records so trajectory
 # points are attributable (CI passes the workflow's SHA explicitly).
-BENCH_SUITES ?= kernels order_search procmap
+BENCH_SUITES ?= kernels order_search procmap fleet
 BENCH_GIT    ?= $(shell git rev-parse --short HEAD 2>/dev/null)
 BENCH_TS     ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 

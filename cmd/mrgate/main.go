@@ -1,0 +1,209 @@
+// Command mrgate fronts a fleet of mrserved replicas with the
+// internal/fleet consistent-hash router: every canonical request key is
+// pinned to a home replica (keeping each replica's cache warm for its
+// slice of the key space), replica health is tracked actively and
+// passively, failures fail over along the hash ring under a global retry
+// budget with Retry-After-aware backoff, optional hedging covers the
+// tail, and when every replica is down the gate answers from the local
+// σ-order fallback with degraded:true instead of going dark.
+//
+// Usage:
+//
+//	mrgate -addr 127.0.0.1:8070 \
+//	       -replicas http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	mrgate -replicas ... -hedge 20ms -retries 3 -retry-budget 0.1
+//
+// Endpoints: POST /v1/map, /v1/advise, /v1/select, /v1/metrics/order,
+// /v1/map/matrix (proxied); GET /metrics (fleet_* Prometheus metrics),
+// /v1/fleet (replica states + retry budget), /healthz (healthy |
+// degraded | draining).
+//
+// A second mode prints a fault plan's replica-kill schedule and exits —
+// the smoke harness uses it to pick its victim deterministically:
+//
+//	mrgate -print-plan -plan "seed=42;replica-chaos:kills=1,by=3s" -fleet-size 3
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/obs/rt"
+)
+
+type options struct {
+	addr        string
+	replicas    string
+	names       string
+	vnodes      int
+	retries     int
+	retryBudget float64
+	retryBurst  float64
+	backoff     time.Duration
+	maxBackoff  time.Duration
+	hedge       time.Duration
+	maxBody     int64
+	noFallback  bool
+	interval    time.Duration
+	probeTO     time.Duration
+	announce    time.Duration
+	drain       time.Duration
+
+	planText  string
+	fleetSize int
+	printPlan bool
+}
+
+var logger = rt.NewTextLogger(os.Stderr, slog.LevelInfo)
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func buildRouter(o options) (*fleet.Router, error) {
+	var names []string
+	if o.names != "" {
+		names = splitList(o.names)
+	}
+	return fleet.New(fleet.Config{
+		Replicas:         splitList(o.replicas),
+		Names:            names,
+		VNodes:           o.vnodes,
+		Retries:          o.retries,
+		RetryBudgetRatio: o.retryBudget,
+		RetryBudgetBurst: o.retryBurst,
+		Backoff:          o.backoff,
+		MaxBackoff:       o.maxBackoff,
+		Hedge:            o.hedge,
+		MaxBody:          o.maxBody,
+		DisableFallback:  o.noFallback,
+		Health: fleet.HealthConfig{
+			Interval: o.interval,
+			Timeout:  o.probeTO,
+		},
+		Logger: logger,
+	})
+}
+
+// printPlan renders a fault plan's replica schedule, one event per line
+// ("kill 1 @1.25s" / "restart 1 @3.25s"), so shell harnesses can follow
+// the same deterministic schedule the seed produced.
+func printPlan(w *os.File, planText string, fleetSize int) error {
+	plan, err := fault.Parse(planText)
+	if err != nil {
+		return err
+	}
+	for _, ev := range plan.FleetEvents(fleetSize) {
+		verb := "kill"
+		if ev.Kind == fault.KindReplicaRestart {
+			verb = "restart"
+		}
+		fmt.Fprintf(w, "%s %d @%gs\n", verb, ev.Target, ev.At)
+	}
+	return nil
+}
+
+// serve listens on o.addr and blocks until ctx is cancelled or the
+// listener fails. ready (when non-nil) receives the bound address.
+func serve(ctx context.Context, g *fleet.Router, o options, ready chan<- string) error {
+	logger.Info("binding", "addr", o.addr)
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return fmt.Errorf("bind %s: %w", o.addr, err)
+	}
+	logger.Info("listening", "url", "http://"+ln.Addr().String(), "replicas", o.replicas)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	g.Start(ctx)
+	defer g.Stop()
+	httpSrv := &http.Server{
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		logger.Info("draining", "announce", o.announce, "budget", o.drain)
+		g.StartDraining()
+		time.Sleep(o.announce)
+		sctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Warn("forced shutdown", "error", err)
+			return httpSrv.Close()
+		}
+		logger.Info("bye")
+		return nil
+	}
+}
+
+func main() {
+	o := options{}
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8070", "listen address")
+	flag.StringVar(&o.replicas, "replicas", "", "comma-separated mrserved base URLs (required)")
+	flag.StringVar(&o.names, "names", "", "comma-separated replica names (default r0..rN)")
+	flag.IntVar(&o.vnodes, "vnodes", fleet.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	flag.IntVar(&o.retries, "retries", 3, "failover attempts after the first try")
+	flag.Float64Var(&o.retryBudget, "retry-budget", 0.1, "retry-budget deposit per request (caps retry amplification)")
+	flag.Float64Var(&o.retryBurst, "retry-burst", 64, "retry-budget bucket size")
+	flag.DurationVar(&o.backoff, "backoff", 2*time.Millisecond, "base retry backoff (doubled per attempt, full jitter)")
+	flag.DurationVar(&o.maxBackoff, "max-backoff", 250*time.Millisecond, "retry backoff cap")
+	flag.DurationVar(&o.hedge, "hedge", 0, "hedge delay: race the second replica after this wait (0 = off)")
+	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "maximum request body in bytes")
+	flag.BoolVar(&o.noFallback, "no-fallback", false, "disable the local degraded fallback when the whole fleet is down")
+	flag.DurationVar(&o.interval, "check-interval", time.Second, "active health-check interval")
+	flag.DurationVar(&o.probeTO, "check-timeout", 500*time.Millisecond, "health probe timeout")
+	flag.DurationVar(&o.announce, "announce", 500*time.Millisecond, "drain announcement window before the listener closes")
+	flag.DurationVar(&o.drain, "drain", 5*time.Second, "graceful-shutdown drain budget")
+	flag.StringVar(&o.planText, "plan", "", "fault plan (internal/fault DSL) for -print-plan")
+	flag.IntVar(&o.fleetSize, "fleet-size", 3, "replica count for -print-plan")
+	flag.BoolVar(&o.printPlan, "print-plan", false, "print the plan's replica kill/restart schedule and exit")
+	flag.Parse()
+
+	if o.printPlan {
+		if err := printPlan(os.Stdout, o.planText, o.fleetSize); err != nil {
+			fmt.Fprintln(os.Stderr, "mrgate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	g, err := buildRouter(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrgate:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, g, o, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "mrgate:", err)
+		os.Exit(1)
+	}
+}

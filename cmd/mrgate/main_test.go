@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrintPlanDeterministic(t *testing.T) {
+	render := func() string {
+		f, err := os.CreateTemp(t.TempDir(), "plan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := printPlan(f, "seed=42;replica-chaos:kills=2,by=3s,restart=2s", 3); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	out := render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("2 kills with restarts should print 4 events, got %d:\n%s", len(lines), out)
+	}
+	kills := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "kill ") {
+			kills++
+		} else if !strings.HasPrefix(l, "restart ") {
+			t.Fatalf("unrecognized schedule line %q", l)
+		}
+	}
+	if kills != 2 {
+		t.Fatalf("%d kill lines, want 2:\n%s", kills, out)
+	}
+	if again := render(); again != out {
+		t.Fatalf("same seed rendered different schedules:\n%s\nvs\n%s", out, again)
+	}
+}
+
+func TestPrintPlanRejectsBadPlan(t *testing.T) {
+	if err := printPlan(os.Stdout, "replica:banana", 3); err == nil {
+		t.Fatal("malformed plan accepted")
+	}
+}
+
+func TestBuildRouterValidation(t *testing.T) {
+	if _, err := buildRouter(options{replicas: ""}); err == nil {
+		t.Fatal("empty replica list accepted")
+	}
+	g, err := buildRouter(options{
+		replicas: "http://127.0.0.1:1, http://127.0.0.1:2 ,",
+		names:    "a,b",
+		interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.States()); got != 2 {
+		t.Fatalf("router tracks %d replicas, want 2 (trailing comma and spaces trimmed)", got)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -147,6 +148,24 @@ func (p retryPolicy) delay(attempt int, retryAfter time.Duration, rng *rand.Rand
 	return d
 }
 
+// targetStats is the per-target slice of a run: which replica (by its
+// x-mr-replica attribution, falling back to the target URL) absorbed how
+// much of the traffic, with what latency. In fleet mode this is what
+// shows a kill: the dead replica's share goes to zero and the survivors'
+// goodput absorbs it.
+type targetStats struct {
+	ok        int64
+	attempts  int64
+	shed      int64
+	serverErr int64
+	transport int64
+	latencies []time.Duration
+}
+
+// tallyFunc hands doShot the per-target accumulator for a label; nil
+// disables per-target tracking (warm-up).
+type tallyFunc func(label string) *targetStats
+
 // outcome tallies what happened to one logical request (including all its
 // retry attempts).
 type outcome struct {
@@ -163,13 +182,19 @@ type outcome struct {
 
 // doShot issues one logical request, retrying shed/5xx/transport failures
 // per the policy. 4xx responses are the caller's fault and never retried.
-// A non-empty traceparent is injected on every attempt; the outcome's
+// In fleet mode (several targets) retries rotate to the next target, so a
+// dead replica costs one attempt, not the whole logical request. A
+// non-empty traceparent is injected on every attempt; the outcome's
 // traceID is taken from the response's traceparent header (the server
-// announces its span there whether or not one was injected).
-func doShot(client *http.Client, base string, s shot, p retryPolicy, rng *rand.Rand, traceparent string) outcome {
+// announces its span there whether or not one was injected). tally, when
+// non-nil, receives per-target accounting: responses are attributed to
+// the replica named by x-mr-replica (so stats follow the serving process
+// even through a routing tier), transport failures to the target URL.
+func doShot(client *http.Client, targets []string, first int, s shot, p retryPolicy, rng *rand.Rand, traceparent string, tally tallyFunc) outcome {
 	var out outcome
 	for attempt := 0; ; attempt++ {
 		out.attempts++
+		base := targets[(first+attempt)%len(targets)]
 		start := time.Now()
 		req, err := http.NewRequest(http.MethodPost, base+s.endpoint, bytes.NewReader(s.body))
 		if err != nil {
@@ -183,7 +208,21 @@ func doShot(client *http.Client, base string, s shot, p retryPolicy, rng *rand.R
 		var retryAfter time.Duration
 		if err != nil {
 			out.transport++
+			if tally != nil {
+				t := tally(base)
+				t.attempts++
+				t.transport++
+			}
 		} else {
+			label := resp.Header.Get("x-mr-replica")
+			if label == "" {
+				label = base
+			}
+			var t *targetStats
+			if tally != nil {
+				t = tally(label)
+				t.attempts++
+			}
 			_, _ = io.Copy(io.Discard, resp.Body)
 			_ = resp.Body.Close()
 			switch {
@@ -193,14 +232,24 @@ func doShot(client *http.Client, base string, s shot, p retryPolicy, rng *rand.R
 				if tid, _, _, ok := rt.ParseTraceparent(resp.Header.Get("traceparent")); ok {
 					out.traceID = tid.String()
 				}
+				if t != nil {
+					t.ok++
+					t.latencies = append(t.latencies, out.latency)
+				}
 				return out
 			case resp.StatusCode == http.StatusServiceUnavailable:
 				out.shed++
+				if t != nil {
+					t.shed++
+				}
 				if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v >= 0 {
 					retryAfter = time.Duration(v) * time.Second
 				}
 			case resp.StatusCode >= 500:
 				out.serverErr++
+				if t != nil {
+					t.serverErr++
+				}
 			default:
 				out.clientErr++
 				return out
@@ -266,6 +315,21 @@ type totals struct {
 	transport, gaveUp          int64
 	latencies                  []time.Duration
 	buckets                    []exemplarBucket
+	perTarget                  map[string]*targetStats
+}
+
+// tally returns the accumulator for one target label, creating it on
+// first sight. Worker-local, so no locking.
+func (t *totals) tally(label string) *targetStats {
+	if t.perTarget == nil {
+		t.perTarget = make(map[string]*targetStats)
+	}
+	ts := t.perTarget[label]
+	if ts == nil {
+		ts = &targetStats{}
+		t.perTarget[label] = ts
+	}
+	return ts
 }
 
 func (t *totals) add(o outcome, measure bool) {
@@ -305,6 +369,15 @@ func (t *totals) merge(w totals) {
 			t.buckets = newExemplarBuckets()
 		}
 		mergeBuckets(t.buckets, w.buckets)
+	}
+	for label, ws := range w.perTarget {
+		ts := t.tally(label)
+		ts.ok += ws.ok
+		ts.attempts += ws.attempts
+		ts.shed += ws.shed
+		ts.serverErr += ws.serverErr
+		ts.transport += ws.transport
+		ts.latencies = append(ts.latencies, ws.latencies...)
 	}
 }
 
@@ -383,6 +456,22 @@ type report struct {
 	MaxMs       float64 `json:"max_ms"`
 
 	Buckets []bucketReport `json:"latency_buckets,omitempty"`
+	Targets []targetReport `json:"targets,omitempty"`
+}
+
+// targetReport is one target's (or, through a routing tier, one serving
+// replica's) slice of the run.
+type targetReport struct {
+	Target      string  `json:"target"`
+	OK          int64   `json:"ok"`
+	Attempts    int64   `json:"attempts"`
+	Shed        int64   `json:"shed_503"`
+	ServerErr   int64   `json:"other_5xx"`
+	Transport   int64   `json:"transport_errors"`
+	GoodputReqS float64 `json:"goodput_req_s"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
 }
 
 type bucketReport struct {
@@ -422,7 +511,41 @@ func buildReport(t totals, d time.Duration, workers, shapes int, skew float64) r
 			ExemplarMs:    float64(b.exemplarLat) / float64(time.Millisecond),
 		})
 	}
+	r.Targets = targetReports(t.perTarget, d)
 	return r
+}
+
+// targetReports folds the per-target accumulators into sorted report
+// rows (latencies are sorted in place to take percentiles).
+func targetReports(perTarget map[string]*targetStats, d time.Duration) []targetReport {
+	if len(perTarget) == 0 {
+		return nil
+	}
+	labels := make([]string, 0, len(perTarget))
+	for label := range perTarget {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := make([]targetReport, 0, len(labels))
+	for _, label := range labels {
+		ts := perTarget[label]
+		tr := targetReport{
+			Target: label, OK: ts.ok, Attempts: ts.attempts,
+			Shed: ts.shed, ServerErr: ts.serverErr, Transport: ts.transport,
+		}
+		if d > 0 {
+			tr.GoodputReqS = float64(ts.ok) / d.Seconds()
+		}
+		if len(ts.latencies) > 0 {
+			sort.Slice(ts.latencies, func(i, j int) bool { return ts.latencies[i] < ts.latencies[j] })
+			tr.P50Ms = ms(percentile(ts.latencies, 0.50))
+			tr.P90Ms = ms(percentile(ts.latencies, 0.90))
+			tr.P99Ms = ms(percentile(ts.latencies, 0.99))
+		}
+		out = append(out, tr)
+	}
+	return out
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -434,7 +557,9 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 func main() {
-	url := flag.String("url", "http://127.0.0.1:8077", "base URL of mrserved")
+	url := flag.String("url", "http://127.0.0.1:8077", "base URL of mrserved (or mrgate)")
+	targetsFlag := flag.String("targets", "",
+		"fleet mode: comma-separated base URLs; requests round-robin across them and retries rotate to the next target")
 	conc := flag.Int("c", 64, "concurrent closed-loop workers")
 	dur := flag.Duration("d", 10*time.Second, "measurement duration")
 	warmup := flag.Duration("warmup", 1*time.Second, "cache warm-up duration (not measured)")
@@ -447,6 +572,20 @@ func main() {
 	skew := flag.Float64("skew", 0, "Zipf exponent for the shot mix (0 = uniform; 1.2 ≈ real-traffic skew)")
 	jsonOut := flag.Bool("json", false, "print a machine-readable JSON summary instead of the human report")
 	flag.Parse()
+
+	targets := []string{*url}
+	if *targetsFlag != "" {
+		targets = targets[:0]
+		for _, u := range strings.Split(*targetsFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				targets = append(targets, u)
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "mrload: -targets is empty")
+			os.Exit(1)
+		}
+	}
 
 	shots := workload(*spread)
 	smp := newSampler(len(shots), *skew)
@@ -470,13 +609,19 @@ func main() {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed))
 				var mine totals
-				for time.Now().Before(deadline) {
+				var tally tallyFunc
+				if measure {
+					tally = mine.tally
+				}
+				for i := 0; time.Now().Before(deadline); i++ {
 					s := shots[smp.pick(rng)]
 					tp := *traceparent
 					if tp == "auto" {
 						tp, _ = rt.ClientTraceparent(rng)
 					}
-					mine.add(doShot(client, *url, s, policy, rng, tp), measure)
+					// Round-robin the first attempt across targets; retries
+					// continue the rotation inside doShot.
+					mine.add(doShot(client, targets, int(seed)+i, s, policy, rng, tp, tally), measure)
 				}
 				mu.Lock()
 				all.merge(mine)
@@ -490,7 +635,8 @@ func main() {
 	if *warmup > 0 {
 		wt := run(*warmup, false)
 		if wt.ok == 0 {
-			fmt.Fprintf(os.Stderr, "mrload: no request succeeded during warm-up — is mrserved running at %s?\n", *url)
+			fmt.Fprintf(os.Stderr, "mrload: no request succeeded during warm-up — is anything running at %s?\n",
+				strings.Join(targets, ", "))
 			os.Exit(1)
 		}
 	}
@@ -528,6 +674,13 @@ func main() {
 	}
 	if t.buckets != nil {
 		printBuckets(os.Stdout, t.buckets)
+	}
+	if len(t.perTarget) > 1 || len(targets) > 1 {
+		fmt.Printf("  per target (by x-mr-replica attribution):\n")
+		for _, tr := range targetReports(t.perTarget, *dur) {
+			fmt.Printf("    %-28s %8d ok %10.0f req/s  p50 %7.2fms p99 %7.2fms  shed %d  5xx %d  transport %d\n",
+				tr.Target, tr.OK, tr.GoodputReqS, tr.P50Ms, tr.P99Ms, tr.Shed, tr.ServerErr, tr.Transport)
+		}
 	}
 	if t.ok == 0 {
 		os.Exit(1)

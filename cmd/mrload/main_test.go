@@ -53,7 +53,7 @@ func TestDoShotRetriesShedThenSucceeds(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(3), rand.New(rand.NewSource(1)), "")
+	out := doShot(ts.Client(), []string{ts.URL}, 0, shot{endpoint: "/v1/map"}, testPolicy(3), rand.New(rand.NewSource(1)), "", nil)
 	if !out.ok || out.gaveUp {
 		t.Fatalf("outcome not ok: %+v", out)
 	}
@@ -71,7 +71,7 @@ func TestDoShotClassifiesOther5xxSeparately(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)), "")
+	out := doShot(ts.Client(), []string{ts.URL}, 0, shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)), "", nil)
 	if out.ok || !out.gaveUp {
 		t.Fatalf("500s must exhaust retries: %+v", out)
 	}
@@ -88,7 +88,7 @@ func TestDoShotDoesNotRetry4xx(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(5), rand.New(rand.NewSource(1)), "")
+	out := doShot(ts.Client(), []string{ts.URL}, 0, shot{endpoint: "/v1/map"}, testPolicy(5), rand.New(rand.NewSource(1)), "", nil)
 	if out.ok || out.gaveUp {
 		t.Fatalf("4xx is a terminal client error: %+v", out)
 	}
@@ -101,8 +101,8 @@ func TestDoShotClassifiesTransportErrors(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 	ts.Close() // nothing is listening: every attempt is a transport error
 
-	out := doShot(&http.Client{Timeout: time.Second}, ts.URL, shot{endpoint: "/v1/map"},
-		testPolicy(2), rand.New(rand.NewSource(1)), "")
+	out := doShot(&http.Client{Timeout: time.Second}, []string{ts.URL}, 0, shot{endpoint: "/v1/map"},
+		testPolicy(2), rand.New(rand.NewSource(1)), "", nil)
 	if out.ok || !out.gaveUp {
 		t.Fatalf("dead server must exhaust retries: %+v", out)
 	}
@@ -146,7 +146,7 @@ func TestDoShotInjectsTraceparentAndCapturesTraceID(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	out := doShot(ts.Client(), ts.URL, shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)), inject)
+	out := doShot(ts.Client(), []string{ts.URL}, 0, shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)), inject, nil)
 	if !out.ok || out.attempts != 2 {
 		t.Fatalf("outcome %+v", out)
 	}
@@ -287,5 +287,89 @@ func TestBuildReportJSON(t *testing.T) {
 	}
 	if back.Shed != 7 || len(back.Buckets) != 1 || back.Buckets[0].ExemplarTrace != "abc" {
 		t.Fatalf("round-trip lost fields: %+v", back)
+	}
+}
+
+// Fleet mode: a dead target costs one attempt — the retry rotates to the
+// next target — and per-target stats attribute the success to the replica
+// the x-mr-replica header names.
+func TestDoShotRotatesTargetsOnRetry(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // nothing listening
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("x-mr-replica", "r1")
+		w.Write([]byte(`{}`))
+	}))
+	defer alive.Close()
+
+	var tt totals
+	out := doShot(&http.Client{Timeout: time.Second}, []string{dead.URL, alive.URL}, 0,
+		shot{endpoint: "/v1/map"}, testPolicy(2), rand.New(rand.NewSource(1)), "", tt.tally)
+	if !out.ok || out.gaveUp {
+		t.Fatalf("retry did not rotate to the live target: %+v", out)
+	}
+	if out.attempts != 2 || out.transport != 1 {
+		t.Fatalf("attempts %d transport %d, want 2 and 1", out.attempts, out.transport)
+	}
+	if ts := tt.perTarget[dead.URL]; ts == nil || ts.transport != 1 {
+		t.Fatalf("dead target not attributed: %+v", tt.perTarget)
+	}
+	if ts := tt.perTarget["r1"]; ts == nil || ts.ok != 1 || len(ts.latencies) != 1 {
+		t.Fatalf("success not attributed to replica r1: %+v", tt.perTarget)
+	}
+}
+
+func TestTotalsMergePerTarget(t *testing.T) {
+	var a, b, all totals
+	sa := a.tally("r0")
+	sa.ok, sa.attempts, sa.latencies = 2, 3, []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	sb := b.tally("r0")
+	sb.ok, sb.attempts, sb.shed = 1, 2, 1
+	sb2 := b.tally("r1")
+	sb2.ok, sb2.attempts = 4, 4
+	all.merge(a)
+	all.merge(b)
+	r0 := all.perTarget["r0"]
+	if r0 == nil || r0.ok != 3 || r0.attempts != 5 || r0.shed != 1 || len(r0.latencies) != 2 {
+		t.Fatalf("merged r0 wrong: %+v", r0)
+	}
+	if r1 := all.perTarget["r1"]; r1 == nil || r1.ok != 4 {
+		t.Fatalf("merged r1 wrong: %+v", r1)
+	}
+}
+
+func TestTargetReportsSortedWithPercentiles(t *testing.T) {
+	var tt totals
+	s0 := tt.tally("r1")
+	s0.ok, s0.attempts = 10, 12
+	for i := 1; i <= 10; i++ {
+		s0.latencies = append(s0.latencies, time.Duration(i)*time.Millisecond)
+	}
+	s1 := tt.tally("r0")
+	s1.ok, s1.attempts, s1.transport = 5, 6, 1
+
+	rows := targetReports(tt.perTarget, 2*time.Second)
+	if len(rows) != 2 || rows[0].Target != "r0" || rows[1].Target != "r1" {
+		t.Fatalf("rows not sorted by target: %+v", rows)
+	}
+	if rows[1].GoodputReqS != 5 {
+		t.Fatalf("r1 goodput %v, want 10/2s = 5", rows[1].GoodputReqS)
+	}
+	if rows[1].P50Ms != 5 || rows[1].P99Ms != 9 {
+		t.Fatalf("r1 percentiles p50=%v p99=%v, want 5 and 9", rows[1].P50Ms, rows[1].P99Ms)
+	}
+
+	// And they survive the JSON round trip inside the report.
+	rep := buildReport(tt, 2*time.Second, 4, 10, 0)
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Targets) != 2 || back.Targets[1].OK != 10 {
+		t.Fatalf("targets lost in round trip: %+v", back.Targets)
 	}
 }

@@ -49,6 +49,7 @@ import (
 
 type options struct {
 	addr         string
+	name         string
 	debugAddr    string
 	traceFile    string
 	sample       float64
@@ -71,6 +72,7 @@ var logger = rt.NewTextLogger(os.Stderr, slog.LevelInfo)
 func buildServers(o options) (*mapd.Server, *http.Server, *rt.Tracer) {
 	tracer := rt.NewTracer(rt.Options{Service: "mrserved", SampleRatio: o.sample})
 	srv := mapd.New(mapd.Config{
+		Name:          o.name,
 		CacheEntries:  o.cache,
 		CacheShards:   o.shards,
 		AdviseWorkers: o.workers,
@@ -161,6 +163,7 @@ func drainAndShutdown(srv *mapd.Server, httpSrv *http.Server, announce, drain ti
 func main() {
 	o := options{}
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:8077", "listen address")
+	flag.StringVar(&o.name, "name", "", "replica name announced in the x-mr-replica response header (for fleet routing)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:8078)")
 	flag.StringVar(&o.traceFile, "trace", "", "write the request-trace Perfetto JSON here on shutdown")
 	flag.Float64Var(&o.sample, "sample", 1, "trace head-sampling ratio (1 = all; negative = errors only)")

@@ -15,6 +15,8 @@ func FuzzParsePlan(f *testing.F) {
 	f.Add("straggle:rank=17,factor=4,level=2")
 	f.Add("link:level=2,degrade=0.5@t=1ms")
 	f.Add("chaos:ranks=2,by=100ms")
+	f.Add("replica:1@t=2s;restart:replica=1@t=6s")
+	f.Add("replica-chaos:kills=2,by=3s,restart=2s")
 	f.Add("rank:0;rank:1;rank:2")
 	f.Add("node:3@t=-1")            // negative time
 	f.Add("link:level=1,degrade=2") // degrade > 1

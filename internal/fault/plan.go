@@ -37,6 +37,20 @@ const (
 	// KindChaos expands (via Materialize) into Target rank crashes at
 	// seed-deterministic times drawn uniformly from [0, By].
 	KindChaos Kind = "chaos"
+
+	// The fleet-scoped kinds below target serving replicas instead of MPI
+	// ranks: they are expanded by FleetEvents and skipped by Materialize,
+	// so one plan can describe both a degraded simulation and the chaos
+	// schedule of the serving tier that advises it.
+
+	// KindReplicaKill crashes serving replica Target at time At.
+	KindReplicaKill Kind = "replica"
+	// KindReplicaRestart restarts serving replica Target at time At.
+	KindReplicaRestart Kind = "restart"
+	// KindReplicaChaos expands (via FleetEvents) into Target replica kills
+	// at seed-deterministic times drawn uniformly from [At, By], each
+	// followed by a restart Restart seconds later when Restart > 0.
+	KindReplicaChaos Kind = "replica-chaos"
 )
 
 // Plan limits; plans are tiny configuration, not bulk data.
@@ -50,12 +64,13 @@ const (
 // Event is one fault in a plan. Which fields are meaningful depends on
 // Kind; see the Kind constants.
 type Event struct {
-	Kind   Kind    `json:"kind"`
-	Target int     `json:"target,omitempty"` // node, rank, or chaos kill count
-	Level  int     `json:"level,omitempty"`  // link: hierarchy level
-	Factor float64 `json:"factor,omitempty"` // straggle slowdown or link capacity multiplier
-	At     float64 `json:"at,omitempty"`     // virtual time, seconds
-	By     float64 `json:"by,omitempty"`     // chaos: upper bound for kill times
+	Kind    Kind    `json:"kind"`
+	Target  int     `json:"target,omitempty"`  // node, rank, replica, or chaos kill count
+	Level   int     `json:"level,omitempty"`   // link: hierarchy level
+	Factor  float64 `json:"factor,omitempty"`  // straggle slowdown or link capacity multiplier
+	At      float64 `json:"at,omitempty"`      // virtual time, seconds
+	By      float64 `json:"by,omitempty"`      // chaos: upper bound for kill times
+	Restart float64 `json:"restart,omitempty"` // replica-chaos: restart delay after each kill
 }
 
 // Plan is a deterministic fault schedule. The zero Plan injects nothing.
@@ -76,6 +91,9 @@ func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
 //	straggle:rank=17,factor=4@t=2ms
 //	link:level=2,degrade=0.5@t=1ms
 //	chaos:ranks=2,by=100ms
+//	replica:1@t=2s
+//	restart:replica=1@t=6s
+//	replica-chaos:kills=1,by=3s,restart=2s
 //
 // Times accept time.ParseDuration syntax ("50ms", "1.5s") or a bare number
 // of seconds. "@t=..." is optional and defaults to t=0. All errors wrap
@@ -292,6 +310,46 @@ func (p *Plan) parseClause(clause string) error {
 			}
 			ev.By = d
 		}
+	case KindReplicaKill, KindReplicaRestart:
+		ev.Kind = Kind(head)
+		n, ok, err := intKey("")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if n, ok, err = intKey("replica"); err != nil {
+				return err
+			}
+		}
+		if !ok {
+			return badf("clause %q: missing replica index", clause)
+		}
+		ev.Target = n
+	case KindReplicaChaos:
+		ev.Kind = KindReplicaChaos
+		n, ok, err := intKey("kills")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if n, ok, err = intKey(""); err != nil {
+				return err
+			}
+		}
+		if !ok {
+			return badf("clause %q: missing kills=", clause)
+		}
+		ev.Target = n
+		for key, dst := range map[string]*float64{"by": &ev.By, "restart": &ev.Restart} {
+			if v, ok := kv[key]; ok {
+				delete(kv, key)
+				d, err := parseSeconds(v)
+				if err != nil {
+					return badf("clause %q: %s=%q: %v", clause, key, v, err)
+				}
+				*dst = d
+			}
+		}
 	default:
 		return badf("clause %q: unknown fault kind %q", clause, head)
 	}
@@ -373,6 +431,20 @@ func (ev Event) validate() error {
 		if !(ev.By >= 0 && ev.By <= MaxTime) {
 			return bad("by %v out of range", ev.By)
 		}
+	case KindReplicaKill, KindReplicaRestart:
+		if ev.Target < 0 {
+			return bad("negative replica %d", ev.Target)
+		}
+	case KindReplicaChaos:
+		if ev.Target < 1 || ev.Target > MaxChaosKills {
+			return bad("kills %d outside [1, %d]", ev.Target, MaxChaosKills)
+		}
+		if !(ev.By >= 0 && ev.By <= MaxTime) {
+			return bad("by %v out of range", ev.By)
+		}
+		if !(ev.Restart >= 0 && ev.Restart <= MaxTime) {
+			return bad("restart %v out of range", ev.Restart)
+		}
 	default:
 		return badf("unknown kind %q", ev.Kind)
 	}
@@ -418,6 +490,18 @@ func (ev Event) String() string {
 			by = fmt.Sprintf(",by=%s", formatSeconds(ev.By))
 		}
 		return fmt.Sprintf("chaos:ranks=%d%s%s", ev.Target, by, at)
+	case KindReplicaKill, KindReplicaRestart:
+		return fmt.Sprintf("%s:%d%s", ev.Kind, ev.Target, at)
+	case KindReplicaChaos:
+		by := ""
+		if ev.By != 0 {
+			by = fmt.Sprintf(",by=%s", formatSeconds(ev.By))
+		}
+		restart := ""
+		if ev.Restart != 0 {
+			restart = fmt.Sprintf(",restart=%s", formatSeconds(ev.Restart))
+		}
+		return fmt.Sprintf("replica-chaos:kills=%d%s%s%s", ev.Target, by, restart, at)
 	}
 	return fmt.Sprintf("?%s", ev.Kind)
 }
@@ -472,10 +556,18 @@ func (p *Plan) Materialize(nranks, coresPerNode int) []Event {
 			if ev.Target < nranks {
 				out = append(out, ev)
 			}
+		case KindReplicaKill, KindReplicaRestart, KindReplicaChaos:
+			// Fleet-scoped: replicas are serving processes, not ranks.
+			// FleetEvents expands these against the replica world.
 		default:
 			out = append(out, ev)
 		}
 	}
+	sortEvents(out)
+	return out
+}
+
+func sortEvents(out []Event) {
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.At != b.At {
@@ -486,5 +578,45 @@ func (p *Plan) Materialize(nranks, coresPerNode int) []Event {
 		}
 		return a.Target < b.Target
 	})
+}
+
+// FleetEvents is Materialize's counterpart for the serving tier: it
+// expands the plan against a fleet of nreplicas replicas, turning
+// replica-chaos clauses into seed-deterministic kill (and optional
+// restart) events on distinct replicas and dropping events whose targets
+// fall outside the fleet. The result is sorted by (time, kind, target),
+// so a chaos run's kill schedule is a pure function of (plan, fleet
+// size) — reruns with the same seed kill the same replicas at the same
+// times.
+func (p *Plan) FleetEvents(nreplicas int) []Event {
+	if p.Empty() || nreplicas <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []Event
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case KindReplicaChaos:
+			n := ev.Target
+			if n > nreplicas {
+				n = nreplicas
+			}
+			for _, r := range rng.Perm(nreplicas)[:n] {
+				at := ev.At
+				if ev.By > at {
+					at += rng.Float64() * (ev.By - at)
+				}
+				out = append(out, Event{Kind: KindReplicaKill, Target: r, At: at})
+				if ev.Restart > 0 {
+					out = append(out, Event{Kind: KindReplicaRestart, Target: r, At: at + ev.Restart})
+				}
+			}
+		case KindReplicaKill, KindReplicaRestart:
+			if ev.Target < nreplicas {
+				out = append(out, ev)
+			}
+		}
+	}
+	sortEvents(out)
 	return out
 }

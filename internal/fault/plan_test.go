@@ -184,3 +184,111 @@ func TestCatch(t *testing.T) {
 		Catch(func() { panic("boom") })
 	}()
 }
+
+func TestParseReplicaClauses(t *testing.T) {
+	p := mustParse(t, "seed=9; replica:1@t=2s; restart:replica=1@t=6s; replica-chaos:kills=2,by=3s,restart=2s")
+	if p.Seed != 9 {
+		t.Fatalf("seed = %d, want 9", p.Seed)
+	}
+	want := []Event{
+		{Kind: KindReplicaKill, Target: 1, At: 2},
+		{Kind: KindReplicaRestart, Target: 1, At: 6},
+		{Kind: KindReplicaChaos, Target: 2, By: 3, Restart: 2},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("events = %+v, want %+v", p.Events, want)
+	}
+	// Canonical round trip, as for the rank-scoped kinds.
+	q := mustParse(t, p.String())
+	if q.String() != p.String() || q.Hash() != p.Hash() {
+		t.Fatalf("round trip changed the plan: %q → %q", p.String(), q.String())
+	}
+}
+
+func TestParseReplicaErrors(t *testing.T) {
+	for _, s := range []string{
+		"replica:-1",
+		"replica:x",
+		"restart:",
+		"replica-chaos:kills=0",
+		"replica-chaos:kills=1,by=-1s",
+		"replica-chaos:kills=1,restart=-2s",
+		"replica-chaos:kills=1,bogus=3",
+	} {
+		if _, err := Parse(s); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("Parse(%q): err = %v, want ErrBadPlan", s, err)
+		}
+	}
+}
+
+func TestFleetEventsDeterministic(t *testing.T) {
+	p := mustParse(t, "seed=42;replica-chaos:kills=2,by=1s,restart=500ms;replica:0@t=2s")
+	a := p.FleetEvents(3)
+	if !reflect.DeepEqual(a, p.FleetEvents(3)) {
+		t.Fatalf("FleetEvents not deterministic: %+v", a)
+	}
+	kills, restarts := 0, 0
+	killAt := map[int][]float64{}
+	var restartEvents []Event
+	for _, ev := range a {
+		switch ev.Kind {
+		case KindReplicaKill:
+			kills++
+			if ev.Target < 0 || ev.Target >= 3 {
+				t.Fatalf("kill target %d outside fleet", ev.Target)
+			}
+			killAt[ev.Target] = append(killAt[ev.Target], ev.At)
+		case KindReplicaRestart:
+			restarts++
+			restartEvents = append(restartEvents, ev)
+		default:
+			t.Fatalf("unexpected kind %q in fleet events", ev.Kind)
+		}
+	}
+	// 2 chaos kills on distinct replicas + the explicit replica:0 kill.
+	if kills != 3 {
+		t.Fatalf("%d kills, want 3", kills)
+	}
+	// Each chaos kill restarts exactly Restart later.
+	if restarts != 2 {
+		t.Fatalf("%d restarts, want 2", restarts)
+	}
+	for _, ev := range restartEvents {
+		matched := false
+		for _, at := range killAt[ev.Target] {
+			if ev.At == at+0.5 {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Fatalf("restart %+v has no kill 0.5s earlier (kills %v)", ev, killAt[ev.Target])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("fleet events not time-sorted: %+v", a)
+		}
+	}
+	// A different seed picks different victims (kills=2 of 3: 3 possible
+	// pairs, so seeds 42 and 1 differing is seed-specific but stable).
+	q := mustParse(t, "seed=1;replica-chaos:kills=2,by=1s,restart=500ms;replica:0@t=2s")
+	if reflect.DeepEqual(a, q.FleetEvents(3)) {
+		t.Fatal("different seeds produced identical fleet events")
+	}
+}
+
+func TestFleetEventsScoping(t *testing.T) {
+	p := mustParse(t, "replica:7;restart:7;replica:1;chaos:ranks=2,by=1s;rank:3")
+	// Out-of-fleet targets are dropped; rank-scoped events never leak in.
+	got := p.FleetEvents(2)
+	if len(got) != 1 || got[0] != (Event{Kind: KindReplicaKill, Target: 1}) {
+		t.Fatalf("FleetEvents = %+v, want just replica:1", got)
+	}
+	// Symmetrically, Materialize never leaks fleet-scoped events.
+	for _, ev := range p.Materialize(16, 4) {
+		switch ev.Kind {
+		case KindReplicaKill, KindReplicaRestart, KindReplicaChaos:
+			t.Fatalf("fleet event %+v leaked into Materialize", ev)
+		}
+	}
+}

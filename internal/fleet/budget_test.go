@@ -1,0 +1,60 @@
+package fleet
+
+import "testing"
+
+func TestBudgetStartsFullAndCaps(t *testing.T) {
+	b := NewBudget(0.1, 4)
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("new budget has %v tokens, want full bucket of 4", got)
+	}
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("deposits overflowed the cap: %v tokens, want 4", got)
+	}
+}
+
+func TestBudgetWithdrawDeniesWhenEmpty(t *testing.T) {
+	// Ratio 0.25 is exact in binary, so the arithmetic below is too.
+	b := NewBudget(0.25, 2)
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("full budget denied a withdrawal")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget granted a withdrawal")
+	}
+	// 4 requests at ratio 0.25 earn exactly one more retry.
+	for i := 0; i < 4; i++ {
+		b.Deposit()
+	}
+	if !b.Withdraw() {
+		t.Fatal("replenished budget denied a withdrawal")
+	}
+	if b.Withdraw() {
+		t.Fatal("budget granted more than the deposits earned")
+	}
+}
+
+// The amplification bound: with ratio r, a sustained failure storm of N
+// requests can issue at most N*r + burst retries.
+func TestBudgetBoundsRetryAmplification(t *testing.T) {
+	const requests = 1000
+	b := NewBudget(0.1, 8)
+	retries := 0
+	for i := 0; i < requests; i++ {
+		b.Deposit()
+		// Every request fails and wants up to 3 retries.
+		for a := 0; a < 3; a++ {
+			if b.Withdraw() {
+				retries++
+			}
+		}
+	}
+	if max := int(requests*0.1) + 8; retries > max {
+		t.Errorf("%d retries for %d failing requests, budget should cap at %d", retries, requests, max)
+	}
+	if retries < 100 {
+		t.Errorf("only %d retries granted; deposits should fund ~108", retries)
+	}
+}

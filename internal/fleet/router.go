@@ -1,0 +1,560 @@
+// The routing tier itself: parse the request far enough to recover the
+// canonical key, walk the consistent-hash ring in health-aware preference
+// order, and proxy. Failures fail over along the ring under a global
+// retry budget with capped jittered backoff honoring Retry-After; an
+// optional hedge cuts the tail by racing the second-choice replica; and
+// when every replica is gone the router answers from the local σ-order
+// fallback instead of going dark.
+
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mapd"
+	"repro/internal/obs"
+)
+
+// Config tunes a Router. The zero value is not servable: at least one
+// replica URL is required.
+type Config struct {
+	// Replicas are the mrserved base URLs (e.g. http://127.0.0.1:8081).
+	Replicas []string
+	// Names label the replicas in metrics and /v1/fleet (default r0..rN).
+	Names []string
+	// VNodes per replica on the hash ring (default DefaultVNodes).
+	VNodes int
+	// Retries bounds failover attempts after the first try (default 3).
+	Retries int
+	// RetryBudgetRatio is the retry-budget deposit per incoming request
+	// (default 0.1: sustained retry amplification is capped at 10%).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst caps the retry-budget bucket (default 64).
+	RetryBudgetBurst float64
+	// Backoff is the base retry delay, doubled per attempt with full
+	// jitter (default 2ms); MaxBackoff caps it (default 250ms). A replica
+	// Retry-After hint raises the delay when larger.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Hedge, when positive, races the second-choice replica if the first
+	// hasn't answered within this delay (tail-latency insurance; hedges
+	// draw from the retry budget). 0 disables hedging.
+	Hedge time.Duration
+	// MaxBody caps an incoming request body (default 1 MiB, matching
+	// mapd); MaxRespBody caps a proxied response (default 64 MiB).
+	MaxBody     int64
+	MaxRespBody int64
+	// DisableFallback turns off the last-resort local σ-order answers.
+	DisableFallback bool
+	// Health tunes the active checker.
+	Health HealthConfig
+	// Client proxies requests (default: a dedicated client with sane
+	// connection pooling).
+	Client *http.Client
+	// Registry receives the fleet_* metrics (default: fresh).
+	Registry *obs.Registry
+	// Logger receives failover/fallback diagnostics (default: discard).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Names == nil {
+		for i := range c.Replicas {
+			c.Names = append(c.Names, "r"+strconv.Itoa(i))
+		}
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 2 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 250 * time.Millisecond
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.MaxRespBody <= 0 {
+		c.MaxRespBody = 64 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+		}}
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Router is the consistent-hash fleet router.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	checker *Checker
+	budget  *Budget
+	reg     *obs.Registry
+	logger  *slog.Logger
+
+	draining atomic.Bool
+
+	retries      *obs.Counter
+	failovers    *obs.Counter
+	hedges       *obs.Counter
+	hedgeWins    *obs.Counter
+	budgetDenied *obs.Counter
+	budgetGauge  *obs.Gauge
+
+	// sleep is the retry backoff sleeper; tests replace it.
+	sleep func(time.Duration)
+}
+
+// New builds a Router. It does not start the health checker; call Start.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("fleet: no replicas configured")
+	}
+	cfg = cfg.withDefaults()
+	if len(cfg.Names) != len(cfg.Replicas) {
+		return nil, fmt.Errorf("fleet: %d names for %d replicas", len(cfg.Names), len(cfg.Replicas))
+	}
+	for i, u := range cfg.Replicas {
+		cfg.Replicas[i] = strings.TrimSuffix(u, "/")
+	}
+	g := &Router{
+		cfg:          cfg,
+		ring:         NewRing(len(cfg.Replicas), cfg.VNodes),
+		budget:       NewBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
+		reg:          cfg.Registry,
+		logger:       cfg.Logger,
+		retries:      cfg.Registry.Counter("fleet_retries_total"),
+		failovers:    cfg.Registry.Counter("fleet_failovers_total"),
+		hedges:       cfg.Registry.Counter("fleet_hedges_total"),
+		hedgeWins:    cfg.Registry.Counter("fleet_hedge_wins_total"),
+		budgetDenied: cfg.Registry.Counter("fleet_retry_budget_exhausted_total"),
+		budgetGauge:  cfg.Registry.Gauge("fleet_retry_budget_tokens"),
+		sleep:        time.Sleep,
+	}
+	for name, help := range map[string]string{
+		"fleet_requests_total":               "Proxied requests, by replica and HTTP status code (code=error: transport failure).",
+		"fleet_request_seconds":              "End-to-end routed request latency, by endpoint.",
+		"fleet_retries_total":                "Failover retry attempts issued by the router.",
+		"fleet_failovers_total":              "Requests served by a replica other than the key's home replica.",
+		"fleet_hedges_total":                 "Hedged (speculative second) requests issued for the tail.",
+		"fleet_hedge_wins_total":             "Hedged requests that beat the primary.",
+		"fleet_retry_budget_tokens":          "Retry-budget tokens currently available.",
+		"fleet_retry_budget_exhausted_total": "Retries denied because the global retry budget was empty.",
+		"fleet_fallback_total":               "Answers served by the router's local degraded fallback, by endpoint.",
+		"fleet_replica_state":                "Replica routing state (0 healthy, 1 degraded, 2 draining, 3 dead).",
+		"fleet_health_checks_total":          "Active health probes, by replica and result.",
+	} {
+		cfg.Registry.SetHelp(name, help)
+	}
+	g.checker = NewChecker(cfg.Replicas, cfg.Names, cfg.Health, cfg.Registry)
+	for _, n := range cfg.Names {
+		cfg.Registry.Gauge("fleet_replica_state", obs.L("replica", n)).Set(float64(StateHealthy))
+	}
+	g.checker.onState = func(i int, s ReplicaState) {
+		cfg.Registry.Gauge("fleet_replica_state", obs.L("replica", cfg.Names[i])).Set(float64(s))
+		g.logger.Info("replica state", "replica", cfg.Names[i], "url", cfg.Replicas[i], "state", s.String())
+	}
+	return g, nil
+}
+
+// Start settles initial health states synchronously, then begins periodic
+// sweeps. Stop ends them.
+func (g *Router) Start(ctx context.Context) {
+	g.checker.CheckNow(ctx)
+	g.checker.Start()
+}
+
+// Stop halts the health checker.
+func (g *Router) Stop() { g.checker.Stop() }
+
+// CheckNow runs one synchronous health sweep (exposed for tests and the
+// perf harness).
+func (g *Router) CheckNow(ctx context.Context) { g.checker.CheckNow(ctx) }
+
+// States snapshots every replica's routing state.
+func (g *Router) States() []ReplicaState { return g.checker.States() }
+
+// StartDraining flips the router into the draining state: /healthz turns
+// 503 and new requests are refused while in-flight proxies finish.
+func (g *Router) StartDraining() { g.draining.Store(true) }
+
+// Registry returns the router's metric registry.
+func (g *Router) Registry() *obs.Registry { return g.reg }
+
+// endpointName maps an API path to its metrics label.
+func endpointName(path string) (string, bool) {
+	switch path {
+	case "/v1/map":
+		return "map", true
+	case "/v1/map/matrix":
+		return "map_matrix", true
+	case "/v1/advise":
+		return "advise", true
+	case "/v1/select":
+		return "select", true
+	case "/v1/metrics/order":
+		return "metrics_order", true
+	default:
+		return "", false
+	}
+}
+
+// Handler returns the router's HTTP handler: the five mapd query
+// endpoints proxied by canonical key, plus the router's own /healthz,
+// /metrics, and /v1/fleet.
+func (g *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, path := range []string{"/v1/map", "/v1/map/matrix", "/v1/advise", "/v1/select", "/v1/metrics/order"} {
+		path := path
+		ep, _ := endpointName(path)
+		latency := g.reg.Histogram("fleet_request_seconds", obs.WallBuckets(), obs.L("endpoint", ep))
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			g.route(w, r, path, ep)
+			latency.Observe(time.Since(start).Seconds())
+		})
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status, code := g.health()
+		w.Header().Set("Content-Type", "application/json")
+		if code != http.StatusOK {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(code)
+		}
+		_, _ = w.Write([]byte(`{"status":"` + status + `"}` + "\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		g.budgetGauge.Set(g.budget.Tokens())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.WritePrometheus(w, g.reg)
+	})
+	mux.HandleFunc("/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		g.serveFleetStatus(w)
+	})
+	return mux
+}
+
+// health resolves the router's own tri-state /healthz: draining beats
+// degraded (whole fleet dead but the local fallback still answers) beats
+// healthy. With the fleet dead and the fallback disabled the router is
+// truly down and says so with a 503.
+func (g *Router) health() (string, int) {
+	switch {
+	case g.draining.Load():
+		return "draining", http.StatusServiceUnavailable
+	case g.aliveReplicas() == 0 && !g.cfg.DisableFallback:
+		return "degraded", http.StatusOK
+	case g.aliveReplicas() == 0:
+		return "dead", http.StatusServiceUnavailable
+	default:
+		return "healthy", http.StatusOK
+	}
+}
+
+func (g *Router) aliveReplicas() int {
+	n := 0
+	for _, s := range g.checker.States() {
+		if s != StateDead {
+			n++
+		}
+	}
+	return n
+}
+
+// fleetStatus is the GET /v1/fleet answer.
+type fleetStatus struct {
+	Replicas          []replicaStatus `json:"replicas"`
+	RetryBudgetTokens float64         `json:"retry_budget_tokens"`
+	Fallback          bool            `json:"fallback"`
+	Hedge             string          `json:"hedge,omitempty"`
+}
+
+type replicaStatus struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+}
+
+func (g *Router) serveFleetStatus(w http.ResponseWriter) {
+	st := fleetStatus{
+		RetryBudgetTokens: g.budget.Tokens(),
+		Fallback:          !g.cfg.DisableFallback,
+	}
+	if g.cfg.Hedge > 0 {
+		st.Hedge = g.cfg.Hedge.String()
+	}
+	for i, u := range g.cfg.Replicas {
+		st.Replicas = append(st.Replicas, replicaStatus{
+			Name:  g.cfg.Names[i],
+			URL:   u,
+			State: g.checker.State(i).String(),
+		})
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// candidates orders the key's ring sequence by health class: healthy
+// replicas first (in ring order, preserving cache locality), then
+// degraded, then draining. Dead replicas are ejected entirely.
+func (g *Router) candidates(seq []int) []int {
+	var classes [3][]int
+	for _, i := range seq {
+		switch g.checker.State(i) {
+		case StateHealthy:
+			classes[0] = append(classes[0], i)
+		case StateDegraded:
+			classes[1] = append(classes[1], i)
+		case StateDraining:
+			classes[2] = append(classes[2], i)
+		}
+	}
+	out := classes[0]
+	out = append(out, classes[1]...)
+	return append(out, classes[2]...)
+}
+
+// upstream is one proxied attempt's outcome.
+type upstream struct {
+	idx        int
+	status     int
+	header     http.Header
+	body       []byte
+	err        error
+	retryAfter time.Duration
+	hedge      bool
+}
+
+// retryable reports whether the attempt may be retried on another
+// replica: transport failures and 5xx answers are; everything else is the
+// authoritative answer.
+func (u upstream) retryable() bool { return u.err != nil || u.status >= 500 }
+
+// route is the proxy pipeline for one request.
+func (g *Router) route(w http.ResponseWriter, r *http.Request, path, ep string) {
+	if g.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "router is draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"body_too_large", fmt.Sprintf("request body exceeds %d bytes", g.cfg.MaxBody))
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+		}
+		return
+	}
+	// The canonical key gives warm-cache locality; a body the key parser
+	// rejects is still routed (deterministically, by raw bytes) so the
+	// replica's stricter pipeline can produce the authoritative error.
+	key, kerr := mapd.RoutingKey(path, body)
+	if kerr != nil {
+		key = "raw|" + path + "|" + strconv.FormatUint(hashKey(string(body)), 16)
+	}
+	seq := g.ring.Sequence(key)
+	g.budget.Deposit()
+
+	cands := g.candidates(seq)
+	var last upstream
+	haveLast := false
+	var retryAfter time.Duration
+	for attempt := 0; attempt <= g.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if !g.budget.Withdraw() {
+				g.budgetDenied.Add(1)
+				break
+			}
+			g.retries.Add(1)
+			g.sleep(g.backoffDelay(attempt-1, retryAfter))
+			// Health states may have settled since the failure.
+			cands = g.candidates(seq)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		var u upstream
+		if attempt == 0 && g.cfg.Hedge > 0 && len(cands) > 1 {
+			u = g.sendHedged(r.Context(), cands, path, body, r.Header)
+		} else {
+			u = g.send(r.Context(), cands[attempt%len(cands)], path, body, r.Header, false)
+		}
+		last, haveLast = u, true
+		if !u.retryable() {
+			g.writeUpstream(w, u, seq[0])
+			return
+		}
+		retryAfter = u.retryAfter
+	}
+
+	if !g.cfg.DisableFallback {
+		g.serveFallback(w, path, ep, body)
+		return
+	}
+	if haveLast && last.err == nil {
+		// Relay the fleet's own last word (e.g. every replica shedding).
+		g.writeUpstream(w, last, seq[0])
+		return
+	}
+	writeError(w, http.StatusBadGateway, "unavailable", "no replica reachable")
+}
+
+// send proxies one attempt to replica idx and reads the full response.
+func (g *Router) send(ctx context.Context, idx int, path string, body []byte, inHdr http.Header, hedge bool) upstream {
+	u := upstream{idx: idx, hedge: hedge}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.Replicas[idx]+path, strings.NewReader(string(body)))
+	if err != nil {
+		u.err = err
+		return u
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tp := inHdr.Get("traceparent"); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		u.err = err
+		// A cancelled context is the hedge race settling, not evidence
+		// against the replica.
+		if ctx.Err() == nil {
+			g.checker.ReportFailure(idx)
+		}
+		g.reg.Counter("fleet_requests_total",
+			obs.L("replica", g.cfg.Names[idx]), obs.L("code", "error")).Add(1)
+		return u
+	}
+	u.status = resp.StatusCode
+	u.header = resp.Header
+	u.body, err = io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxRespBody))
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		u.err = err
+		if ctx.Err() == nil {
+			g.checker.ReportFailure(idx)
+		}
+		g.reg.Counter("fleet_requests_total",
+			obs.L("replica", g.cfg.Names[idx]), obs.L("code", "error")).Add(1)
+		return u
+	}
+	g.checker.ReportSuccess(idx)
+	if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v >= 0 {
+		u.retryAfter = time.Duration(v) * time.Second
+	}
+	g.reg.Counter("fleet_requests_total",
+		obs.L("replica", g.cfg.Names[idx]), obs.L("code", strconv.Itoa(u.status))).Add(1)
+	return u
+}
+
+// sendHedged races the key's first two candidates: the primary is sent
+// immediately; if it hasn't answered within the hedge delay (and the
+// retry budget allows), the secondary is launched and the first
+// non-retryable answer wins. The loser is cancelled.
+func (g *Router) sendHedged(ctx context.Context, cands []int, path string, body []byte, inHdr http.Header) upstream {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan upstream, 2)
+	go func() { ch <- g.send(hctx, cands[0], path, body, inHdr, false) }()
+	timer := time.NewTimer(g.cfg.Hedge)
+	defer timer.Stop()
+	inflight := 1
+	var last upstream
+	for received := 0; received < inflight; {
+		select {
+		case u := <-ch:
+			received++
+			if !u.retryable() {
+				if u.hedge {
+					g.hedgeWins.Add(1)
+				}
+				return u
+			}
+			last = u
+		case <-timer.C:
+			if g.budget.Withdraw() {
+				g.hedges.Add(1)
+				inflight++
+				go func() { ch <- g.send(hctx, cands[1], path, body, inHdr, true) }()
+			}
+		}
+	}
+	return last
+}
+
+// writeUpstream relays a replica answer to the client.
+func (g *Router) writeUpstream(w http.ResponseWriter, u upstream, home int) {
+	if u.idx != home {
+		g.failovers.Add(1)
+	}
+	for _, h := range []string{"Content-Type", "Retry-After", "traceparent", "x-mr-replica"} {
+		if v := u.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if w.Header().Get("x-mr-replica") == "" {
+		// Unnamed replicas still get attributed by the router.
+		w.Header().Set("x-mr-replica", g.cfg.Names[u.idx])
+	}
+	if u.status != http.StatusOK {
+		w.WriteHeader(u.status)
+	}
+	_, _ = w.Write(u.body)
+}
+
+// backoffDelay is the capped exponential backoff with full jitter for the
+// given zero-based retry, raised to the replicas' Retry-After hint when
+// one was sent.
+func (g *Router) backoffDelay(retry int, retryAfter time.Duration) time.Duration {
+	d := g.cfg.Backoff << uint(retry)
+	if d > g.cfg.MaxBackoff || d <= 0 {
+		d = g.cfg.MaxBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// writeError emits the structured error envelope mapd clients already
+// parse.
+func writeError(w http.ResponseWriter, code int, status, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, _ := json.Marshal(map[string]any{"error": map[string]any{
+		"code": code, "status": status, "message": msg,
+	}})
+	_, _ = w.Write(append(b, '\n'))
+}

@@ -1,0 +1,101 @@
+// A -race hammer for the breaker's half-open transition: the probe
+// admission (Allow flipping open → half-open) races with concurrent
+// Record calls settling earlier evaluations, which is exactly the state
+// the serving path reaches when a cooldown expires under load. The test
+// pins down two invariants: at most one probe is ever admitted per
+// cooldown window, and concurrent Records never corrupt the state
+// machine (observable states stay within the three legal values and the
+// breaker still closes on success afterwards).
+
+package mapd
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBreakerHalfOpenSingleProbeUnderRace(t *testing.T) {
+	const workers = 16
+	for round := 0; round < 50; round++ {
+		b := newBreaker(1, time.Nanosecond, nil)
+		b.Record(false) // open; the 1ns cooldown expires immediately
+		for b.State() != breakerOpen {
+			t.Fatal("breaker did not open")
+		}
+		time.Sleep(time.Microsecond)
+
+		// All workers race to claim the half-open probe slot.
+		var admitted atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if got := admitted.Load(); got != 1 {
+			t.Fatalf("round %d: %d probes admitted, want exactly 1", round, got)
+		}
+		if st := b.State(); st != breakerHalfOpen {
+			t.Fatalf("round %d: state %v after probe admission", round, st)
+		}
+	}
+}
+
+func TestBreakerConcurrentRecordHammer(t *testing.T) {
+	const workers = 8
+	b := newBreaker(3, time.Nanosecond, nil)
+	var transitions atomic.Int64
+	b.onState = func(s breakerState) {
+		if s != breakerClosed && s != breakerHalfOpen && s != breakerOpen {
+			panic("illegal breaker state")
+		}
+		transitions.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				switch {
+				case b.Allow():
+					// Bursty outcomes (3 failures per 10 records) keep the
+					// machine cycling through closed → open → half-open
+					// under contention.
+					b.Record(i%10 < 7)
+				default:
+					b.Record(false)
+				}
+				if w == 0 && i%100 == 0 {
+					_ = b.State()
+					_ = b.RetryAfter()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Whatever interleaving happened, a stream of successes must still
+	// close the breaker — the machine cannot wedge.
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	if st := b.State(); st != breakerClosed {
+		t.Fatalf("breaker wedged in %v after success stream", st)
+	}
+	if transitions.Load() == 0 {
+		t.Fatal("hammer drove no state transitions")
+	}
+}

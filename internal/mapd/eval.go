@@ -99,6 +99,19 @@ func evalAdvise(ctx context.Context, q *parsedAdvise, opts advisor.RankOptions) 
 	return resp, nil
 }
 
+// EvalAdviseFallback answers an AdviseRequest from the σ-order ring-cost
+// heuristic — the same degraded path the breaker-open service serves. It
+// is cheap, deterministic, and cannot time out, which makes it the
+// last-resort local answer for routing tiers with every replica down.
+// Errors wrap ErrBadRequest.
+func EvalAdviseFallback(req AdviseRequest) (*AdviseResponse, error) {
+	q, err := req.parse()
+	if err != nil {
+		return nil, err
+	}
+	return evalAdviseFallback(q)
+}
+
 // evalAdviseFallback is the degraded-mode answer served while the advisor
 // circuit breaker is open: instead of the k! bottleneck-model search it
 // ranks all orders by the §3.3 ring cost of their enumeration — a pure
@@ -222,6 +235,17 @@ func evalMatrixMap(ctx context.Context, q *parsedMatrixMap) (*MatrixMapResponse,
 		resp.ImprovementPct = 100 * (orderCost - resp.Cost) / orderCost
 	}
 	return resp, nil
+}
+
+// EvalMatrixMapFallback answers a MatrixMapRequest from the σ-order
+// baseline only — EvalAdviseFallback's matrix-map counterpart for
+// last-resort local serving. Errors wrap ErrBadRequest.
+func EvalMatrixMapFallback(req MatrixMapRequest) (*MatrixMapResponse, error) {
+	q, err := req.parse()
+	if err != nil {
+		return nil, err
+	}
+	return evalMatrixMapFallback(q)
 }
 
 // evalMatrixMapFallback is the degraded matrix-map answer (breaker open or

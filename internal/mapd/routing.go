@@ -1,0 +1,70 @@
+// RoutingKey gives routers the exact canonical cache key a replica will
+// compute for a request, so a consistent-hash routing tier sends every
+// syntactic variant of the same logical query to the replica already
+// holding the warm cache entry.
+
+package mapd
+
+import "fmt"
+
+// RoutingKey parses the request body for the given API path and returns
+// the canonical cache key the serving pipeline uses for it. Requests that
+// differ only in surface syntax ("2x2x4" vs "[2, 2, 4]") share a key, so
+// hashing it preserves cache locality across clients. Errors wrap
+// ErrBadRequest (malformed body) or name an unroutable path.
+func RoutingKey(path string, body []byte) (string, error) {
+	switch path {
+	case "/v1/map":
+		var req MapRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", err
+		}
+		return q.Key(), nil
+	case "/v1/advise":
+		var req AdviseRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", err
+		}
+		return q.Key(), nil
+	case "/v1/map/matrix":
+		var req MatrixMapRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", err
+		}
+		return q.Key(), nil
+	case "/v1/select":
+		var req SelectRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", err
+		}
+		return q.Key(), nil
+	case "/v1/metrics/order":
+		var req OrderMetricsRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return "", err
+		}
+		q, err := req.parse()
+		if err != nil {
+			return "", err
+		}
+		return q.Key(), nil
+	default:
+		return "", fmt.Errorf("mapd: no routing key for path %q", path)
+	}
+}

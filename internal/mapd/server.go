@@ -79,6 +79,10 @@ type Config struct {
 	// analytics behind GET /v1/stats: at most this many shape classes are
 	// tracked individually (default DefaultStatsClasses).
 	StatsClasses int
+	// Name identifies this replica in a fleet: when set, every response
+	// carries it in the x-mr-replica header so routers and load generators
+	// can attribute latency to the replica that actually served.
+	Name string
 }
 
 func (c Config) withDefaults() Config {
@@ -467,6 +471,9 @@ func apiEndpoint(path string) (string, bool) {
 func (s *Server) withTelemetry(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if s.cfg.Name != "" {
+			w.Header().Set("x-mr-replica", s.cfg.Name)
+		}
 		ctx, span := s.cfg.Tracer.StartRequest(r.Context(), "http "+r.URL.Path, r.Header.Get("traceparent"))
 		if tp := span.Traceparent(); tp != "" {
 			w.Header().Set("traceparent", tp)
@@ -569,7 +576,7 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 		}
 		if s.cfg.MaxInflight > 0 && n > int64(s.cfg.MaxInflight) {
 			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter(n, int64(s.cfg.MaxInflight))))
 			code = writeError(ctx, w, http.StatusServiceUnavailable,
 				fmt.Sprintf("over %d requests in flight, try again shortly", s.cfg.MaxInflight))
 			return
@@ -689,6 +696,26 @@ func (s *Server) serveGuarded(name string, parse guardedParseFunc) http.HandlerF
 		}
 		writeJSON(w, val)
 	}
+}
+
+// maxShedRetryAfter caps the adaptive Retry-After hint: past ~8× the
+// in-flight cap the queue-depth signal says "badly overloaded" and longer
+// hints only starve well-behaved clients.
+const maxShedRetryAfter = 30
+
+// shedRetryAfter scales the shed 503's Retry-After hint with actual queue
+// depth instead of a flat 1s: barely over the cap hints 1s, and each
+// additional cap's worth of excess in-flight requests adds ~4s, so
+// router and client backoff tracks how overloaded the daemon really is.
+func shedRetryAfter(inflight, limit int64) int {
+	if limit <= 0 || inflight <= limit {
+		return 1
+	}
+	s := 1 + int((inflight-limit)*4/limit)
+	if s > maxShedRetryAfter {
+		s = maxShedRetryAfter
+	}
+	return s
 }
 
 func b2i(b bool) int64 {

@@ -47,6 +47,9 @@ type MapResponse struct {
 	Coords    []int    `json:"coords,omitempty"`   // coordinates of Rank (or echo)
 	NewRank   *int     `json:"new_rank,omitempty"` // reordered rank under Order
 	Table     []int    `json:"table,omitempty"`    // table[old] = new
+	// Degraded marks an answer computed by a routing tier's local fallback
+	// instead of a replica (the result itself is still exact).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // AdviseRequest asks the analytic advisor to rank hierarchy orders for a
@@ -112,6 +115,9 @@ type SelectResponse struct {
 	Induced []int  `json:"induced,omitempty"`
 	Uniform bool   `json:"uniform"`
 	Reason  string `json:"reason,omitempty"` // why the selection is non-uniform
+	// Degraded marks an answer computed by a routing tier's local fallback
+	// instead of a replica (the result itself is still exact).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // OrderMetricsRequest asks for the §3.3 characterization of one order.
@@ -136,6 +142,9 @@ type OrderMetricsResponse struct {
 	// exists.
 	Distribution string `json:"distribution,omitempty"`
 	Legend       string `json:"legend"` // figure-legend rendering
+	// Degraded marks an answer computed by a routing tier's local fallback
+	// instead of a replica (the result itself is still exact).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // MatrixMapRequest asks for a communication-matrix-aware placement: the

@@ -226,6 +226,7 @@ func factorial(k int) int {
 // suite lives in loadgen.go; everything else above.
 func Suites() []Suite {
 	all := []Suite{
+		FleetSuite(),
 		KernelSuite(),
 		MixedRadixSuite(),
 		OrderSearchSuite(),
