@@ -17,10 +17,10 @@ test:
 	$(GO) test ./...
 
 # race runs the concurrency-heavy packages under the race detector: the
-# service, its telemetry layer, the simulator core, and the
-# fault-injection layer.
+# service, its telemetry layer, the simulator core, the fault-injection
+# layer, and the advisor search engine the service dispatches to.
 race:
-	$(GO) test -race ./internal/mapd/... ./internal/obs/... ./internal/sim/... ./internal/fault/... ./internal/mpi/... ./internal/procmap/... ./internal/fleet/...
+	$(GO) test -race ./internal/mapd/... ./internal/obs/... ./internal/sim/... ./internal/fault/... ./internal/mpi/... ./internal/procmap/... ./internal/fleet/... ./internal/advisor/... ./internal/metrics/...
 
 # check is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build (including the serving commands), the full test suite under the
@@ -86,16 +86,20 @@ smoke:
 
 # smoke-fleet is the chaos e2e: three real mrserved replicas behind
 # mrgate, mrload closed-loop traffic through the gate, and a seeded fault
-# plan that picks the victim replica and the kill time. Mid-run the victim
-# dies; the run must finish with zero unretried failures (gave_up = 0, no
-# client-visible 5xx). Afterwards the surviving fleet must answer
-# non-degraded, and with every replica killed the gate must still answer,
-# flagged degraded, from its local σ-order fallback.
+# plan that picks the victim replica, the kill time, and the restart
+# time. Mid-run the victim dies; the run must finish with zero unretried
+# failures (gave_up = 0, no client-visible 5xx) and the surviving fleet
+# must answer non-degraded. Then the drill executes the plan's restart:
+# the victim comes back on its old address, the gate's health checker
+# must re-admit it (state healthy in /v1/fleet), and a second load run
+# must show traffic attributed to the restarted replica. Finally, with
+# every replica killed, the gate must still answer, flagged degraded,
+# from its local σ-order fallback.
 SMOKE_FLEET_GATE ?= 127.0.0.1:18070
 SMOKE_FLEET_R0   ?= 127.0.0.1:18071
 SMOKE_FLEET_R1   ?= 127.0.0.1:18072
 SMOKE_FLEET_R2   ?= 127.0.0.1:18073
-SMOKE_FLEET_PLAN ?= seed=42;replica-chaos:kills=1,by=1.6s@t=1.1s
+SMOKE_FLEET_PLAN ?= seed=42;replica-chaos:kills=1,by=1.6s,restart=2s@t=1.1s
 
 smoke-fleet:
 	$(GO) build -o /tmp/mrserved.smoke ./cmd/mrserved
@@ -118,7 +122,10 @@ smoke-fleet:
 		| awk '/^kill/{print $$2; exit}'); \
 	killat=$$(/tmp/mrgate.smoke -print-plan -plan '$(SMOKE_FLEET_PLAN)' -fleet-size 3 \
 		| awk '/^kill/{gsub(/[@s]/,"",$$3); print $$3; exit}'); \
-	echo "smoke-fleet: seeded plan kills r$$victim at t=$${killat}s"; \
+	restartat=$$(/tmp/mrgate.smoke -print-plan -plan '$(SMOKE_FLEET_PLAN)' -fleet-size 3 \
+		| awk '/^restart/{gsub(/[@s]/,"",$$3); print $$3; exit}'); \
+	test -n "$$restartat" || { echo "smoke-fleet: plan has no restart event"; exit 1; }; \
+	echo "smoke-fleet: seeded plan kills r$$victim at t=$${killat}s, restarts it at t=$${restartat}s"; \
 	/tmp/mrload.smoke -url http://$(SMOKE_FLEET_GATE) -c 16 -warmup 300ms -d 3s \
 		-backoff 1ms -maxbackoff 50ms -json > /tmp/mrload-fleet.json & pl=$$!; \
 	sleep $$killat; \
@@ -132,6 +139,24 @@ smoke-fleet:
 	recovered=$$(curl -fsS -X POST -d '{"hierarchy":"2,2,4","rank":5}' http://$(SMOKE_FLEET_GATE)/v1/map); \
 	case "$$recovered" in *'"degraded":true'*) \
 		echo "smoke-fleet: fleet still degraded after recovery: $$recovered"; exit 1;; esac; \
+	case "$$victim" in \
+		0) vaddr=$(SMOKE_FLEET_R0);; 1) vaddr=$(SMOKE_FLEET_R1);; 2) vaddr=$(SMOKE_FLEET_R2);; \
+		*) echo "smoke-fleet: unexpected victim index $$victim"; exit 1;; esac; \
+	/tmp/mrserved.smoke -addr $$vaddr -name r$$victim -announce 50ms & pvr=$$!; \
+	eval p$$victim=$$pvr; \
+	readmitted=0; for i in $$(seq 1 100); do \
+		if curl -fsS http://$(SMOKE_FLEET_GATE)/v1/fleet \
+			| grep -q "\"name\":\"r$$victim\",\"url\":\"[^\"]*\",\"state\":\"healthy\""; then readmitted=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test $$readmitted = 1 || { echo "smoke-fleet: gate never re-admitted restarted r$$victim"; \
+		curl -fsS http://$(SMOKE_FLEET_GATE)/v1/fleet; exit 1; }; \
+	/tmp/mrload.smoke -url http://$(SMOKE_FLEET_GATE) -c 8 -warmup 200ms -d 1s \
+		-backoff 1ms -maxbackoff 50ms -json > /tmp/mrload-fleet2.json || \
+		{ echo "smoke-fleet: post-restart mrload run failed"; cat /tmp/mrload-fleet2.json; exit 1; }; \
+	grep -A1 "\"target\": \"r$$victim\"" /tmp/mrload-fleet2.json \
+		| grep '"ok":' | grep -qv '"ok": 0,' || \
+		{ echo "smoke-fleet: no traffic reached restarted r$$victim"; cat /tmp/mrload-fleet2.json; exit 1; }; \
 	kill $$p0 $$p1 $$p2 2>/dev/null || true; \
 	ok=0; for i in $$(seq 1 50); do \
 		if curl -fsS http://$(SMOKE_FLEET_GATE)/healthz | grep -q degraded; then ok=1; break; fi; \
@@ -144,8 +169,9 @@ smoke-fleet:
 		echo "smoke-fleet: fleet-down advise not served degraded: $$fallback"; exit 1;; esac; \
 	kill -TERM $$pg; wait $$pg; \
 	trap - EXIT; \
-	rm -f /tmp/mrserved.smoke /tmp/mrgate.smoke /tmp/mrload.smoke /tmp/mrload-fleet.json; \
-	echo "smoke-fleet: kill/failover/fallback OK (victim r$$victim from seeded plan)"
+	rm -f /tmp/mrserved.smoke /tmp/mrgate.smoke /tmp/mrload.smoke \
+		/tmp/mrload-fleet.json /tmp/mrload-fleet2.json; \
+	echo "smoke-fleet: kill/failover/restart/fallback OK (victim r$$victim from seeded plan)"
 
 # BENCH_SUITES are the committed trajectory baselines the regression gate
 # compares against; BENCH_GIT/BENCH_TS stamp fresh records so trajectory

@@ -39,12 +39,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/commmatrix"
+	"repro/internal/fleet"
 	"repro/internal/mapd"
 	"repro/internal/obs/rt"
 	"repro/internal/procmap"
@@ -242,8 +242,8 @@ func doShot(client *http.Client, targets []string, first int, s shot, p retryPol
 				if t != nil {
 					t.shed++
 				}
-				if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v >= 0 {
-					retryAfter = time.Duration(v) * time.Second
+				if d, ok := fleet.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+					retryAfter = d
 				}
 			case resp.StatusCode >= 500:
 				out.serverErr++

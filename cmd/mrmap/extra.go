@@ -21,27 +21,37 @@ import (
 
 func cmdAdvise(args []string) error {
 	fs := flag.NewFlagSet("advise", flag.ExitOnError)
-	machine := fs.String("machine", "hydra", "machine model: hydra or lumi")
-	nodes := fs.Int("nodes", 16, "number of compute nodes")
+	machine := fs.String("machine", "hydra", "machine model: hydra, lumi, or cloud")
+	nodes := fs.Int("nodes", 16, "number of compute nodes (hydra/lumi)")
+	depth := fs.Int("depth", 0, "cloud hierarchy depth 6..12 (cloud only; 0 = default 10)")
 	coll := fs.String("coll", "alltoall", "collective: alltoall, allgather, allreduce")
 	comm := fs.Int("comm", 16, "subcommunicator size")
 	size := fs.Int64("size", 16<<20, "total collective size in bytes")
 	simultaneous := fs.Bool("all", true, "all subcommunicators run simultaneously")
 	top := fs.Int("top", 5, "how many recommendations to print")
+	threshold := fs.Int("search-threshold", 0,
+		"largest depth searched exhaustively; deeper uses branch-and-bound/beam (0 = default 7)")
 	asJSON := fs.Bool("json", false, "emit the service's canonical /v1/advise response")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *asJSON {
-		resp, err := mapd.EvalAdvise(context.Background(), mapd.AdviseRequest{
+		req := mapd.AdviseRequest{
 			Machine:      *machine,
-			Nodes:        *nodes,
 			Collective:   *coll,
 			CommSize:     *comm,
 			Bytes:        *size,
 			Simultaneous: *simultaneous,
 			Top:          *top,
-		}, advisor.RankOptions{})
+		}
+		if *machine == "cloud" {
+			req.Depth = *depth
+		} else {
+			req.Nodes = *nodes
+		}
+		resp, err := mapd.EvalAdviseOpts(context.Background(), req, mapd.AdviseOptions{
+			SearchDepthThreshold: *threshold,
+		})
 		if err != nil {
 			return err
 		}
@@ -56,6 +66,16 @@ func cmdAdvise(args []string) error {
 	case "lumi":
 		spec = clusterLUMI(*nodes)
 		h = spec.Hierarchy()
+	case "cloud":
+		d := *depth
+		if d == 0 {
+			d = 10
+		}
+		if d < cluster.CloudMinDepth || d > cluster.CloudMaxDepth {
+			return fmt.Errorf("cloud depth %d out of range %d..%d", d, cluster.CloudMinDepth, cluster.CloudMaxDepth)
+		}
+		spec = cluster.Cloud(d)
+		h = spec.Hierarchy()
 	default:
 		return fmt.Errorf("unknown machine %q", *machine)
 	}
@@ -66,6 +86,31 @@ func cmdAdvise(args []string) error {
 		CommSize:     *comm,
 		Simultaneous: *simultaneous,
 		Bytes:        *size,
+	}
+	thr := *threshold
+	if thr <= 0 {
+		thr = mapd.DefaultSearchDepthThreshold
+	}
+	if h.Depth() > thr {
+		// Deep hierarchy: k! orders are out of reach — run the bounded
+		// branch-and-bound/beam search and report what it accounted for.
+		res, err := advisor.SearchOrders(context.Background(), sc, advisor.SearchOptions{Top: *top})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s search for %s (%d ranks/comm, %d bytes, simultaneous=%v) on %s:\n",
+			res.Mode, *coll, *comm, *size, *simultaneous, h)
+		fmt.Printf("    accounted %d of %d! orders; evaluated %d order classes across %d search nodes",
+			res.Covered+res.Pruned, h.Depth(), res.Evaluated, res.Nodes)
+		if res.OptimalityGap > 0 {
+			fmt.Printf(" (optimality gap %.4f)", res.OptimalityGap)
+		}
+		fmt.Println()
+		for i, pr := range res.Best {
+			fmt.Printf("%2d. %s\n", i+1, advisor.Explain(sc, pr))
+		}
+		fmt.Printf("    …\nworst evaluated: %s\n", advisor.Explain(sc, res.Worst))
+		return nil
 	}
 	ranked, err := advisor.Recommend(sc, nil)
 	if err != nil {

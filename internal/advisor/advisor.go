@@ -54,6 +54,11 @@ type Prediction struct {
 	// BottleneckLevel is the hierarchy level whose links bound the time
 	// (-1 when the latency term dominates).
 	BottleneckLevel int
+	// Latency is the rounds×latency share of Time; Time−Latency is the
+	// pure traffic (bottleneck-link) share. The branch-and-bound search
+	// uses the split to substitute an admissible latency floor when
+	// bounding partial orders.
+	Latency float64
 }
 
 // Predict estimates the collective duration under order sigma.
@@ -196,6 +201,7 @@ func Predict(sc Scenario, sigma []int) (Prediction, error) {
 		Time:            total,
 		Bandwidth:       B / total,
 		BottleneckLevel: level,
+		Latency:         latTime,
 	}, nil
 }
 

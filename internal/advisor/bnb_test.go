@@ -1,0 +1,243 @@
+package advisor
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/obs"
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+func specFor(h topology.Hierarchy) netmodel.Spec {
+	// Depth-5 shapes need the five-level LUMI spec (see prune_test);
+	// deeper shapes use the cloud machine, whose template matches the
+	// depth-6 and depth-7 shapes below — a shallower spec would make the
+	// fully-nested communicators degenerate.
+	switch {
+	case h.Depth() >= 6:
+		return cluster.Cloud(h.Depth())
+	case h.Depth() == 5:
+		return cluster.LUMI(16)
+	default:
+		return cluster.Hydra(16, 1)
+	}
+}
+
+// TestBnBEqualsFull is the exactness proof of the branch-and-bound: for
+// every shape × collective × divisor × one-vs-all-comms scenario, the
+// bounded search must return exactly the head of the exhaustive ranking —
+// same orders, same values — with a zero gap and a complete accounting
+// (Covered + Pruned = k!).
+func TestBnBEqualsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	colls := []Collective{Alltoall, Allgather, Allreduce}
+	shapes := [][]int{
+		{2, 2, 4},
+		{2, 2, 2, 2},
+		{4, 2, 2, 2},
+		{2, 3, 2, 2},
+		{2, 2, 2, 2, 2},
+		{2, 2, 2, 2, 2, 4},    // cluster.Cloud(6)
+		{2, 2, 2, 2, 2, 2, 4}, // cluster.Cloud(7)
+	}
+	const top = 10
+	for _, ar := range shapes {
+		h := topology.MustNew(ar...)
+		spec := specFor(h)
+		for _, coll := range colls {
+			for _, sim := range []bool{false, true} {
+				for _, p := range divisorsOf(h.Size()) {
+					sc := Scenario{
+						Spec:         spec,
+						Hierarchy:    h,
+						Coll:         coll,
+						CommSize:     p,
+						Simultaneous: sim,
+						Bytes:        int64(1+rng.Intn(64)) << 16,
+					}
+					ranked, err := Rank(context.Background(), sc, nil, RankOptions{Workers: 2})
+					if err != nil {
+						t.Fatalf("rank (%v, %s, p=%d, sim=%v): %v", ar, coll, p, sim, err)
+					}
+					res, err := SearchOrders(context.Background(), sc, SearchOptions{Top: top})
+					if err != nil {
+						t.Fatalf("search (%v, %s, p=%d, sim=%v): %v", ar, coll, p, sim, err)
+					}
+					if res.Mode != ModeBnB {
+						t.Fatalf("mode %q, want %q (%v, %s, p=%d, sim=%v)", res.Mode, ModeBnB, ar, coll, p, sim)
+					}
+					if res.OptimalityGap != 0 {
+						t.Fatalf("bnb gap %v, want 0", res.OptimalityGap)
+					}
+					kf := perm.Factorial(h.Depth())
+					if res.Covered+res.Pruned != kf {
+						t.Fatalf("covered %d + pruned %d != %d! (%v, %s, p=%d, sim=%v)",
+							res.Covered, res.Pruned, kf, ar, coll, p, sim)
+					}
+					want := top
+					if len(ranked) < want {
+						want = len(ranked)
+					}
+					if len(res.Best) != want {
+						t.Fatalf("got %d best orders, want %d (%v, %s, p=%d, sim=%v)",
+							len(res.Best), want, ar, coll, p, sim)
+					}
+					for i := 0; i < want; i++ {
+						if !perm.Equal(ranked[i].Order, res.Best[i].Order) {
+							t.Fatalf("rank %d order mismatch (%v, %s, p=%d, sim=%v): full %v bnb %v",
+								i, ar, coll, p, sim, ranked[i].Order, res.Best[i].Order)
+						}
+						if ranked[i].Time != res.Best[i].Time || ranked[i].Bandwidth != res.Best[i].Bandwidth ||
+							ranked[i].BottleneckLevel != res.Best[i].BottleneckLevel {
+							t.Fatalf("rank %d value mismatch for order %v (%v, %s, p=%d, sim=%v): full %+v bnb %+v",
+								i, ranked[i].Order, ar, coll, p, sim, ranked[i], res.Best[i])
+						}
+					}
+					// Worst is the worst *evaluated* class: it can never be
+					// better than the true best or worse than the true worst.
+					trueWorst := ranked[len(ranked)-1]
+					if res.Worst.Time > trueWorst.Time || res.Worst.Time < ranked[0].Time {
+						t.Fatalf("worst evaluated %v outside [best %v, worst %v]",
+							res.Worst.Time, ranked[0].Time, trueWorst.Time)
+					}
+					if res.Evaluated <= 0 || res.Evaluated > int64(len(ranked)) {
+						t.Fatalf("evaluated %d out of range (n=%d)", res.Evaluated, len(ranked))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBeamGapUpperBound forces the beam fallback with a tiny node budget
+// and checks the gap contract at depths where the exhaustive ranking is
+// still computable: the reported gap must upper-bound the true gap, i.e.
+// trueBest.Time ≥ bestFound.Time × (1 − gap).
+func TestBeamGapUpperBound(t *testing.T) {
+	h := topology.MustNew(2, 2, 2, 2, 2)
+	spec := cluster.LUMI(16)
+	for _, coll := range []Collective{Alltoall, Allgather, Allreduce} {
+		for _, sim := range []bool{false, true} {
+			for _, p := range []int{4, 8, 32} {
+				sc := Scenario{
+					Spec:         spec,
+					Hierarchy:    h,
+					Coll:         coll,
+					CommSize:     p,
+					Simultaneous: sim,
+					Bytes:        8 << 20,
+				}
+				ranked, err := Rank(context.Background(), sc, nil, RankOptions{Workers: 2})
+				if err != nil {
+					t.Fatalf("rank (%s, p=%d, sim=%v): %v", coll, p, sim, err)
+				}
+				res, err := SearchOrders(context.Background(), sc, SearchOptions{
+					Top:        3,
+					NodeBudget: 1, // exhausted immediately: beam must answer
+					BeamWidth:  2,
+				})
+				if err != nil {
+					t.Fatalf("search (%s, p=%d, sim=%v): %v", coll, p, sim, err)
+				}
+				if res.Mode != ModeBeam {
+					t.Fatalf("mode %q, want %q (%s, p=%d, sim=%v)", res.Mode, ModeBeam, coll, p, sim)
+				}
+				if res.OptimalityGap < 0 || res.OptimalityGap >= 1 {
+					t.Fatalf("gap %v outside [0, 1)", res.OptimalityGap)
+				}
+				best := res.Best[0]
+				trueBest := ranked[0]
+				if best.Time < trueBest.Time {
+					t.Fatalf("beam best %v beats the true optimum %v (%s, p=%d, sim=%v)",
+						best.Time, trueBest.Time, coll, p, sim)
+				}
+				lower := best.Time * (1 - res.OptimalityGap)
+				if trueBest.Time < lower*(1-1e-12) {
+					t.Fatalf("gap %v does not cover the true gap: optimum %v < guaranteed floor %v (%s, p=%d, sim=%v)",
+						res.OptimalityGap, trueBest.Time, lower, coll, p, sim)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchOrdersDeterministic pins the engine's determinism: two runs of
+// the same scenario (including a beam run) must agree bit for bit.
+func TestSearchOrdersDeterministic(t *testing.T) {
+	h := topology.MustNew(2, 2, 2, 2, 2, 2)
+	sc := Scenario{
+		Spec:      cluster.LUMI(16),
+		Hierarchy: h,
+		Coll:      Allreduce,
+		CommSize:  8,
+		Bytes:     4 << 20,
+	}
+	for _, budget := range []int64{0, 5} {
+		a, err := SearchOrders(context.Background(), sc, SearchOptions{Top: 5, NodeBudget: budget, BeamWidth: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SearchOrders(context.Background(), sc, SearchOptions{Top: 5, NodeBudget: budget, BeamWidth: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("budget %d: non-deterministic search:\n%+v\nvs\n%+v", budget, a, b)
+		}
+	}
+}
+
+// TestSearchOrdersMetrics checks the obs wiring of the bounded search:
+// one latency sample and the class counters under the mode label.
+func TestSearchOrdersMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := topology.MustNew(2, 2, 2, 2)
+	sc := Scenario{
+		Spec:      cluster.Hydra(16, 1),
+		Hierarchy: h,
+		Coll:      Alltoall,
+		CommSize:  4,
+		Bytes:     1 << 20,
+	}
+	var stats RankStats
+	res, err := SearchOrders(context.Background(), sc, SearchOptions{
+		Top:      3,
+		Registry: reg,
+		OnStats:  func(s RankStats) { stats = s },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mode != ModeBnB {
+		t.Fatalf("stats mode %q, want %q", stats.Mode, ModeBnB)
+	}
+	if int64(stats.Classes) != res.Evaluated {
+		t.Fatalf("stats classes %d != evaluated %d", stats.Classes, res.Evaluated)
+	}
+	ml := obs.L("mode", ModeBnB)
+	if misses := reg.FindCounter("advisor_class_misses_total", ml); misses != float64(res.Evaluated) {
+		t.Fatalf("class misses %v, want %d", misses, res.Evaluated)
+	}
+}
+
+// TestSearchOrdersCancel: a cancelled context must stop the descent.
+func TestSearchOrdersCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := topology.MustNew(2, 2, 2, 2, 2, 2, 2)
+	sc := Scenario{
+		Spec:      cluster.LUMI(16),
+		Hierarchy: h,
+		Coll:      Alltoall,
+		CommSize:  128,
+		Bytes:     1 << 20,
+	}
+	if _, err := SearchOrders(ctx, sc, SearchOptions{Top: 1}); err == nil {
+		t.Fatal("expected context error from cancelled search")
+	}
+}

@@ -150,6 +150,7 @@ func Rank(ctx context.Context, sc Scenario, orders [][]int, opts RankOptions) ([
 				Time:            pr.Time,
 				Bandwidth:       pr.Bandwidth,
 				BottleneckLevel: pr.BottleneckLevel,
+				Latency:         pr.Latency,
 			}
 		}
 	}

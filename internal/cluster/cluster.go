@@ -127,6 +127,59 @@ func HydraFatTree(switches, nodesPerSwitch, nics int) netmodel.Spec {
 	}
 }
 
+// Cloud depth bounds: the synthetic cloud machine is the deep-hierarchy
+// scenario family (following Cloud Collectives, Luo et al.), served only
+// through the bounded branch-and-bound / beam search.
+const (
+	CloudMinDepth = 6
+	CloudMaxDepth = 12
+)
+
+// cloudLevels is the full 12-level template, outermost to innermost: a
+// datacenter fabric (zone/spine/pod/rack/ToR/chassis) over virtualized
+// hosts (host/VM) over a node interior (socket/NUMA/L3/core). Latencies
+// decrease and bandwidths increase monotonically inward, so deep
+// hierarchies exercise both terms of the advisor model at every depth.
+var cloudLevels = []netmodel.LevelSpec{
+	{Name: "zone", Arity: 2, UpBandwidth: 8e9, Latency: 5.0e-6},
+	{Name: "spine", Arity: 2, UpBandwidth: 10e9, Latency: 3.2e-6},
+	{Name: "pod", Arity: 2, UpBandwidth: 12e9, Latency: 2.4e-6},
+	{Name: "rack", Arity: 2, UpBandwidth: 15e9, Latency: 1.8e-6},
+	{Name: "tor", Arity: 2, UpBandwidth: 18e9, Latency: 1.4e-6},
+	{Name: "chassis", Arity: 2, UpBandwidth: 22e9, Latency: 1.0e-6},
+	{Name: "host", Arity: 2, UpBandwidth: 25e9, BusBandwidth: 70e9, Latency: 0.8e-6},
+	{Name: "vm", Arity: 2, UpBandwidth: 30e9, BusBandwidth: 80e9, Latency: 0.6e-6},
+	{Name: "socket", Arity: 2, UpBandwidth: 36e9, BusBandwidth: 110e9, Latency: 0.45e-6, MemBandwidth: 170e9},
+	{Name: "numa", Arity: 2, UpBandwidth: 45e9, BusBandwidth: 60e9, Latency: 0.3e-6, MemBandwidth: 45e9},
+	{Name: "l3", Arity: 2, UpBandwidth: 55e9, BusBandwidth: 60e9, Latency: 0.2e-6, MemBandwidth: 50e9},
+	{Name: "core", Arity: 4, Latency: 0.1e-6},
+}
+
+// Cloud returns the synthetic deep cloud machine at the given hierarchy
+// depth (CloudMinDepth..CloudMaxDepth): the innermost depth levels of the
+// 12-level template, so depth 10 is ⟦2×…×2, 4⟧ with 2048 cores and depth
+// 12 the full 8192-core datacenter. Unlike the paper machines its shape
+// is fixed per depth — the point is searching deep order spaces, not
+// sizing nodes.
+func Cloud(depth int) netmodel.Spec {
+	if depth < CloudMinDepth || depth > CloudMaxDepth {
+		panic("cluster: cloud depth out of range")
+	}
+	levels := make([]netmodel.LevelSpec, depth)
+	copy(levels, cloudLevels[len(cloudLevels)-depth:])
+	return netmodel.Spec{
+		Name:   "cloud",
+		Levels: levels,
+		// Generic cloud VCPUs; only the collective model reads this spec.
+		CoreFlops: 8e9,
+	}
+}
+
+// CloudHierarchy returns the hierarchy of Cloud(depth).
+func CloudHierarchy(depth int) topology.Hierarchy {
+	return Cloud(depth).Hierarchy()
+}
+
 // HydraHierarchy returns the ⟦nodes, 2, 2, 8⟧ hierarchy used throughout
 // the Hydra experiments.
 func HydraHierarchy(nodes int) topology.Hierarchy {

@@ -1,0 +1,40 @@
+// Retry-After parsing shared by the router and load clients. RFC 9110
+// §10.2.3 allows two forms — delay-seconds ("120") and an HTTP-date
+// ("Fri, 08 Aug 2026 10:00:00 GMT") — and real proxies emit both, so
+// accepting only the integer form silently drops the hint and falls
+// back to the default backoff curve.
+
+package fleet
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ParseRetryAfter interprets a Retry-After header value as a delay
+// relative to now. It accepts the delay-seconds form (a non-negative
+// integer) and the HTTP-date forms understood by http.ParseTime; a date
+// already in the past clamps to zero rather than producing a negative
+// delay. The second return is false when the value is absent or
+// unparseable, in which case callers keep their own backoff.
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
+		return 0, false
+	}
+	d := t.Sub(now)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}

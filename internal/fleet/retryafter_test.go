@@ -1,0 +1,35 @@
+package fleet
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+		ok   bool
+	}{
+		{"empty", "", 0, false},
+		{"zero seconds", "0", 0, true},
+		{"seconds", "120", 120 * time.Second, true},
+		{"negative seconds", "-3", 0, false},
+		{"garbage", "soon", 0, false},
+		{"fractional rejected", "1.5", 0, false},
+		{"http-date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{"http-date past clamps", now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		{"ansi-c date", now.Add(30 * time.Second).Format(time.ANSIC), 30 * time.Second, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseRetryAfter(tc.v, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.v, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}

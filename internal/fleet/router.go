@@ -470,8 +470,8 @@ func (g *Router) send(ctx context.Context, idx int, path string, body []byte, in
 		return u
 	}
 	g.checker.ReportSuccess(idx)
-	if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v >= 0 {
-		u.retryAfter = time.Duration(v) * time.Second
+	if d, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		u.retryAfter = d
 	}
 	g.reg.Counter("fleet_requests_total",
 		obs.L("replica", g.cfg.Names[idx]), obs.L("code", strconv.Itoa(u.status))).Add(1)

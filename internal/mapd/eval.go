@@ -62,10 +62,52 @@ func evalMap(q *parsedMap) (*MapResponse, error) {
 	return resp, nil
 }
 
+// DefaultSearchDepthThreshold is the hierarchy depth above which advise
+// requests run the bounded branch-and-bound / beam search instead of the
+// exhaustive ranking. Depth 7 (5040 orders) is the largest space the
+// pruned exact search answers comfortably within a request budget.
+const DefaultSearchDepthThreshold = 7
+
+// AdviseOptions bounds an advise evaluation.
+type AdviseOptions struct {
+	// Rank configures the exhaustive path (depth ≤ SearchDepthThreshold).
+	Rank advisor.RankOptions
+	// SearchDepthThreshold is the largest depth served exactly; deeper
+	// hierarchies run the bounded search. 0 means
+	// DefaultSearchDepthThreshold; values clamp to
+	// [1, MaxExactAdviseDepth].
+	SearchDepthThreshold int
+	// Search configures the bounded path. Top and the observability hooks
+	// are filled in from the request and Rank options.
+	Search advisor.SearchOptions
+}
+
+func (o AdviseOptions) threshold() int {
+	t := o.SearchDepthThreshold
+	if t == 0 {
+		t = DefaultSearchDepthThreshold
+	}
+	if t < 1 {
+		t = 1
+	}
+	if t > MaxExactAdviseDepth {
+		t = MaxExactAdviseDepth
+	}
+	return t
+}
+
 // EvalAdvise answers an AdviseRequest, ranking all k! orders with the
-// advisor's worker pool. Errors wrap ErrBadRequest except when the context
-// is cancelled. Errors wrap ErrBadRequest.
+// advisor's worker pool (deep hierarchies fall back to the bounded search
+// at the default threshold). Errors wrap ErrBadRequest except when the
+// context is cancelled.
 func EvalAdvise(ctx context.Context, req AdviseRequest, opts advisor.RankOptions) (*AdviseResponse, error) {
+	return EvalAdviseOpts(ctx, req, AdviseOptions{Rank: opts})
+}
+
+// EvalAdviseOpts answers an AdviseRequest with full control over the
+// exact/bounded split. Errors wrap ErrBadRequest except when the context
+// is cancelled.
+func EvalAdviseOpts(ctx context.Context, req AdviseRequest, opts AdviseOptions) (*AdviseResponse, error) {
 	q, err := req.parse()
 	if err != nil {
 		return nil, err
@@ -73,9 +115,21 @@ func EvalAdvise(ctx context.Context, req AdviseRequest, opts advisor.RankOptions
 	return evalAdvise(ctx, q, opts)
 }
 
-func evalAdvise(ctx context.Context, q *parsedAdvise, opts advisor.RankOptions) (*AdviseResponse, error) {
+func evalAdvise(ctx context.Context, q *parsedAdvise, opts AdviseOptions) (*AdviseResponse, error) {
 	sc := q.scenario()
-	ranked, err := advisor.Rank(ctx, sc, nil, opts)
+	if sc.Hierarchy.Depth() > opts.threshold() {
+		return evalAdviseDeep(ctx, q, opts)
+	}
+	var rs advisor.RankStats
+	ropts := opts.Rank
+	inner := ropts.OnStats
+	ropts.OnStats = func(s advisor.RankStats) {
+		rs = s
+		if inner != nil {
+			inner(s)
+		}
+	}
+	ranked, err := advisor.Rank(ctx, sc, nil, ropts)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -87,16 +141,59 @@ func evalAdvise(ctx context.Context, q *parsedAdvise, opts advisor.RankOptions) 
 		top = len(ranked)
 	}
 	resp := &AdviseResponse{
-		Machine:   q.machine,
-		Hierarchy: sc.Hierarchy.Arities(),
-		Evaluated: len(ranked),
-		Best:      make([]AdvisePrediction, top),
-		Worst:     advisePrediction(sc, ranked[len(ranked)-1]),
+		Machine:         q.machine,
+		Hierarchy:       sc.Hierarchy.Arities(),
+		Evaluated:       len(ranked),
+		SearchMode:      rs.Mode,
+		OrdersEvaluated: int64(rs.Classes),
+		Best:            make([]AdvisePrediction, top),
+		Worst:           advisePrediction(sc, ranked[len(ranked)-1]),
 	}
 	for i := 0; i < top; i++ {
 		resp.Best[i] = advisePrediction(sc, ranked[i])
 	}
 	return resp, nil
+}
+
+// evalAdviseDeep serves depths above the exact threshold from the
+// branch-and-bound / beam engine: provably optimal when the node budget
+// suffices, bounded-gap otherwise — never factorial work.
+func evalAdviseDeep(ctx context.Context, q *parsedAdvise, opts AdviseOptions) (*AdviseResponse, error) {
+	sc := q.scenario()
+	sopts := opts.Search
+	sopts.Top = q.top
+	sopts.Registry = opts.Rank.Registry
+	sopts.OnStats = opts.Rank.OnStats
+	res, err := advisor.SearchOrders(ctx, sc, sopts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, badf("%v", err)
+	}
+	resp := &AdviseResponse{
+		Machine:         q.machine,
+		Hierarchy:       sc.Hierarchy.Arities(),
+		Evaluated:       clampToInt(res.Covered + res.Pruned),
+		SearchMode:      res.Mode,
+		OrdersEvaluated: res.Evaluated,
+		OptimalityGap:   res.OptimalityGap,
+		Best:            make([]AdvisePrediction, len(res.Best)),
+		Worst:           advisePrediction(sc, res.Worst),
+	}
+	for i, pr := range res.Best {
+		resp.Best[i] = advisePrediction(sc, pr)
+	}
+	return resp, nil
+}
+
+// clampToInt saturates an order count into the wire type's int field on
+// 32-bit platforms (12! does not fit in int32).
+func clampToInt(v int64) int {
+	if v > int64(^uint(0)>>1) {
+		return int(^uint(0) >> 1)
+	}
+	return int(v)
 }
 
 // EvalAdviseFallback answers an AdviseRequest from the σ-order ring-cost
@@ -114,10 +211,12 @@ func EvalAdviseFallback(req AdviseRequest) (*AdviseResponse, error) {
 
 // evalAdviseFallback is the degraded-mode answer served while the advisor
 // circuit breaker is open: instead of the k! bottleneck-model search it
-// ranks all orders by the §3.3 ring cost of their enumeration — a pure
+// ranks orders by the §3.3 ring cost of their enumeration — a pure
 // integer computation that cannot time out. The closed-form kernel makes
 // each order O(k), so the whole fallback costs O(k·k!) instead of the
-// O(n·k!) table walk it used to do. The response is flagged Degraded and
+// O(n·k!) table walk it used to do. Above the exact depth limit even k!
+// ring costs are too many (12! ≈ 479M), so a small deterministic
+// candidate set is ranked instead. The response is flagged Degraded and
 // never cached.
 func evalAdviseFallback(q *parsedAdvise) (*AdviseResponse, error) {
 	sc := q.scenario()
@@ -126,7 +225,7 @@ func evalAdviseFallback(q *parsedAdvise) (*AdviseResponse, error) {
 		sigma []int
 		cost  int
 	}
-	orders := perm.All(h.Depth())
+	orders := fallbackOrders(h.Depth())
 	cands := make([]cand, 0, len(orders))
 	for _, sigma := range orders {
 		ch, err := metrics.Characterize(h, sigma, h.Size())
@@ -153,17 +252,53 @@ func evalAdviseFallback(q *parsedAdvise) (*AdviseResponse, error) {
 		top = len(cands)
 	}
 	resp := &AdviseResponse{
-		Machine:   q.machine,
-		Hierarchy: h.Arities(),
-		Evaluated: len(cands),
-		Degraded:  true,
-		Best:      make([]AdvisePrediction, top),
-		Worst:     pred(cands[len(cands)-1]),
+		Machine:         q.machine,
+		Hierarchy:       h.Arities(),
+		Evaluated:       len(cands),
+		SearchMode:      advisor.ModeFallback,
+		OrdersEvaluated: int64(len(cands)),
+		Degraded:        true,
+		Best:            make([]AdvisePrediction, top),
+		Worst:           pred(cands[len(cands)-1]),
 	}
 	for i := 0; i < top; i++ {
 		resp.Best[i] = pred(cands[i])
 	}
 	return resp, nil
+}
+
+// fallbackOrders is the degraded-path candidate set: every order up to
+// the exact depth limit; above it, a bounded deterministic family — the
+// identity enumeration, the reversed (σ-default) order, and all their
+// rotations — so the breaker-open answer stays O(k²) orders deep into
+// the cloud depths. The heuristic keeps the fallback's contract (cheap,
+// deterministic, never times out); it does not claim optimality, which
+// Degraded already signals.
+func fallbackOrders(k int) [][]int {
+	if k <= MaxExactAdviseDepth {
+		return perm.All(k)
+	}
+	asc := make([]int, k)
+	for i := range asc {
+		asc[i] = i
+	}
+	var out [][]int
+	seen := make(map[string]bool)
+	add := func(s []int) {
+		key := fmt.Sprint(s)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, append([]int(nil), s...))
+		}
+	}
+	for _, base := range [][]int{asc, perm.Reversed(k)} {
+		rot := append([]int(nil), base...)
+		for r := 0; r < k; r++ {
+			add(rot)
+			rot = append(rot[1:], rot[0])
+		}
+	}
+	return out
 }
 
 func advisePrediction(sc advisor.Scenario, pr advisor.Prediction) AdvisePrediction {
@@ -191,7 +326,7 @@ func EvalMatrixMap(ctx context.Context, req MatrixMapRequest) (*MatrixMapRespons
 
 func evalMatrixMap(ctx context.Context, q *parsedMatrixMap) (*MatrixMapResponse, error) {
 	_, osp := rt.StartSpan(ctx, "procmap.bestorder")
-	sigma, orderPlacement, orderCost, err := procmap.BestOrder(q.m, q.h, nil)
+	sigma, orderPlacement, orderCost, evaluated, err := procmap.BestOrder(q.m, q.h, nil)
 	osp.End()
 	if err != nil {
 		return nil, badf("%v", err)
@@ -219,7 +354,7 @@ func evalMatrixMap(ctx context.Context, q *parsedMatrixMap) (*MatrixMapResponse,
 		GreedyCost:      res.GreedyCost,
 		BestOrder:       sigma,
 		BestOrderCost:   orderCost,
-		OrdersEvaluated: factorial(q.h.Depth()),
+		OrdersEvaluated: evaluated,
 		Rounds:          res.Rounds,
 		Swaps:           res.Swaps,
 		Seed:            q.seed,
@@ -252,7 +387,7 @@ func EvalMatrixMapFallback(req MatrixMapRequest) (*MatrixMapResponse, error) {
 // over budget): just the best mixed-radix order's placement — a bounded
 // k!·edges scan with no refinement. Flagged Degraded and never cached.
 func evalMatrixMapFallback(q *parsedMatrixMap) (*MatrixMapResponse, error) {
-	sigma, placement, cost, err := procmap.BestOrder(q.m, q.h, nil)
+	sigma, placement, cost, evaluated, err := procmap.BestOrder(q.m, q.h, nil)
 	if err != nil {
 		return nil, badf("%v", err)
 	}
@@ -264,19 +399,11 @@ func evalMatrixMapFallback(q *parsedMatrixMap) (*MatrixMapResponse, error) {
 		Cost:            cost,
 		BestOrder:       sigma,
 		BestOrderCost:   cost,
-		OrdersEvaluated: factorial(q.h.Depth()),
+		OrdersEvaluated: evaluated,
 		Seed:            q.seed,
 		SearchMode:      advisor.ModeFallback,
 		Degraded:        true,
 	}, nil
-}
-
-func factorial(k int) int {
-	f := 1
-	for i := 2; i <= k; i++ {
-		f *= i
-	}
-	return f
 }
 
 // EvalSelect answers a SelectRequest. Errors wrap ErrBadRequest.

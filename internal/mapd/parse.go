@@ -29,8 +29,15 @@ const (
 	MaxCores = 1 << 20
 	// MaxTable bounds the size of a full mapping table response.
 	MaxTable = 1 << 16
-	// MaxAdviseDepth bounds the k! order search (8! = 40320 evaluations).
-	MaxAdviseDepth = 8
+	// MaxAdviseDepth bounds the hierarchy depth of an advise request. Up
+	// to MaxExactAdviseDepth the k! search runs; deeper hierarchies are
+	// served by the bounded branch-and-bound / beam search, which is
+	// polynomial-ish in practice (node-budgeted) rather than factorial.
+	MaxAdviseDepth = 12
+	// MaxExactAdviseDepth bounds the exhaustive order search (8! = 40320
+	// evaluations) and therefore the configurable exact/bounded depth
+	// threshold.
+	MaxExactAdviseDepth = 8
 	// MaxAdviseNodes bounds the machine size of an advise request.
 	MaxAdviseNodes = 4096
 	// MaxTop bounds how many ranked orders an advise response carries.
@@ -158,6 +165,7 @@ type parsedAdvise struct {
 	machine      string
 	nodes        int
 	nics         int
+	depth        int // cloud only; 0 for the fixed-shape machines
 	coll         advisor.Collective
 	comm         int
 	bytes        int64
@@ -171,10 +179,14 @@ func (r *AdviseRequest) parse() (*parsedAdvise, error) {
 		machine:      r.Machine,
 		nodes:        r.Nodes,
 		nics:         r.NICs,
+		depth:        r.Depth,
 		comm:         r.CommSize,
 		bytes:        r.Bytes,
 		simultaneous: r.Simultaneous,
 		top:          r.Top,
+	}
+	if q.machine != "cloud" && r.Depth != 0 {
+		return nil, badf("depth applies only to machine cloud")
 	}
 	if q.nodes == 0 {
 		q.nodes = 16
@@ -198,10 +210,28 @@ func (r *AdviseRequest) parse() (*parsedAdvise, error) {
 			return nil, badf("machine lumi has a fixed NIC configuration")
 		}
 		q.spec = cluster.LUMI(q.nodes)
+	case "cloud":
+		if r.Nodes != 0 {
+			return nil, badf("machine cloud is sized by depth, not nodes")
+		}
+		if r.NICs != 0 && r.NICs != 1 {
+			return nil, badf("machine cloud has a fixed NIC configuration")
+		}
+		if q.depth == 0 {
+			q.depth = 10
+		}
+		if q.depth < cluster.CloudMinDepth || q.depth > cluster.CloudMaxDepth {
+			return nil, badf("cloud depth %d outside [%d, %d]",
+				q.depth, cluster.CloudMinDepth, cluster.CloudMaxDepth)
+		}
+		// Canonical form: nodes/nics are meaningless for cloud, so zero
+		// them out of the cache key.
+		q.nodes, q.nics = 0, 0
+		q.spec = cluster.Cloud(q.depth)
 	case "":
-		return nil, badf("machine is required (hydra, hydra-real, or lumi)")
+		return nil, badf("machine is required (hydra, hydra-real, lumi, or cloud)")
 	default:
-		return nil, badf("unknown machine %q (want hydra, hydra-real, or lumi)", q.machine)
+		return nil, badf("unknown machine %q (want hydra, hydra-real, lumi, or cloud)", q.machine)
 	}
 	h := q.spec.Hierarchy()
 	if h.Depth() > MaxAdviseDepth {

@@ -43,6 +43,12 @@ type Config struct {
 	// AdviseWorkers bounds the worker pool of one order-ranking evaluation
 	// (default GOMAXPROCS).
 	AdviseWorkers int
+	// SearchDepthThreshold is the largest hierarchy depth /v1/advise
+	// serves with the exhaustive (exact/pruned) ranking; deeper
+	// hierarchies run the bounded branch-and-bound / beam search.
+	// 0 means DefaultSearchDepthThreshold; values clamp to
+	// [1, MaxExactAdviseDepth].
+	SearchDepthThreshold int
 	// MaxBody caps the request body in bytes (default 1 MiB).
 	MaxBody int64
 	// Timeout bounds one evaluation (default 10 s). Evaluations run on a
@@ -181,7 +187,7 @@ func New(cfg Config) *Server {
 		"mapd_advise_fallback_total":           "Answers served by the breaker-open fallback, any guarded endpoint.",
 		"mapd_matrix_fallback_total":           "Matrix-map answers degraded to the σ-order baseline (breaker open or over budget).",
 		"mapd_breaker_state":                   "Advisor circuit breaker state (0 closed, 1 open, 2 half-open).",
-		"advisor_search_seconds":               "Order-search latency, by search mode (exact/pruned/matrix/fallback).",
+		"advisor_search_seconds":               "Order-search latency, by search mode (exact/pruned/bnb/beam/matrix/fallback).",
 		"procmap_map_seconds":                  "Matrix-aware placement latency (σ baseline + greedy + refinement).",
 		"procmap_refine_swaps_total":           "Pairwise swaps applied by matrix-aware refinement.",
 		"procmap_improvement_pct":              "Matrix-aware win over the best σ order, percent (last request).",
@@ -191,7 +197,7 @@ func New(cfg Config) *Server {
 		"mapd_stats_class_hit_rate":            "Workload analytics: cache hit rate by canonical shape class.",
 		"mapd_stats_depth_requests":            "Workload analytics: requests by hierarchy depth.",
 		"mapd_stats_collective_requests":       "Workload analytics: advise requests by collective.",
-		"mapd_stats_search_requests":           "Workload analytics: order searches by mode (exact/pruned/matrix/fallback).",
+		"mapd_stats_search_requests":           "Workload analytics: order searches by mode (exact/pruned/bnb/beam/matrix/fallback).",
 		"mapd_stats_endpoint_requests":         "Workload analytics: requests by API endpoint.",
 		"mapd_stats_tracked_classes":           "Workload analytics: shape classes currently tracked (≤ K).",
 		"mapd_stats_distinct_classes_estimate": "Workload analytics: sketch estimate of distinct shape classes seen.",
@@ -263,10 +269,13 @@ func (s *Server) Handler() http.Handler {
 				s.AdviseHook()
 			}
 			s.evals.Add(1)
-			resp, err := evalAdvise(ctx, q, advisor.RankOptions{
-				Workers:  s.cfg.AdviseWorkers,
-				Registry: s.reg,
-				OnStats:  func(rs advisor.RankStats) { s.stats.observeSearch(rs.Mode) },
+			resp, err := evalAdvise(ctx, q, AdviseOptions{
+				Rank: advisor.RankOptions{
+					Workers:  s.cfg.AdviseWorkers,
+					Registry: s.reg,
+					OnStats:  func(rs advisor.RankStats) { s.stats.observeSearch(rs.Mode) },
+				},
+				SearchDepthThreshold: s.cfg.SearchDepthThreshold,
 			})
 			if s.breaker != nil {
 				// Client errors say nothing about the service's health.
@@ -402,7 +411,7 @@ func (s *Server) Handler() http.Handler {
 // matrix searches alongside the advisor's exact/pruned/fallback modes.
 func (s *Server) recordMatrixSearch(mode string, resp *MatrixMapResponse, elapsed time.Duration) {
 	ml := obs.L("mode", mode)
-	s.reg.Counter("advisor_class_misses_total", ml).AddInt(int64(resp.OrdersEvaluated))
+	s.reg.Counter("advisor_class_misses_total", ml).AddInt(resp.OrdersEvaluated)
 	s.reg.Histogram("advisor_search_seconds", obs.SearchBuckets(), ml).Observe(elapsed.Seconds())
 	s.stats.observeSearch(mode)
 }

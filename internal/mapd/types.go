@@ -55,12 +55,17 @@ type MapResponse struct {
 // AdviseRequest asks the analytic advisor to rank hierarchy orders for a
 // machine model and collective scenario.
 type AdviseRequest struct {
-	// Machine is a built-in model: "hydra", "hydra-real", or "lumi".
+	// Machine is a built-in model: "hydra", "hydra-real", "lumi", or
+	// "cloud" (the deep synthetic datacenter, sized by Depth).
 	Machine string `json:"machine"`
-	// Nodes is the compute-node count (default 16).
+	// Nodes is the compute-node count (default 16; not for cloud).
 	Nodes int `json:"nodes,omitempty"`
 	// NICs per node (hydra models only; default 1).
 	NICs int `json:"nics,omitempty"`
+	// Depth is the cloud machine's hierarchy depth (6–12, default 10).
+	// Depths above the exact-search threshold are served by the bounded
+	// branch-and-bound / beam search.
+	Depth int `json:"depth,omitempty"`
 	// Collective: "alltoall", "allgather", or "allreduce".
 	Collective string `json:"collective"`
 	// CommSize is the subcommunicator size.
@@ -87,12 +92,30 @@ type AdvisePrediction struct {
 type AdviseResponse struct {
 	Machine   string `json:"machine"`
 	Hierarchy []int  `json:"hierarchy"`
-	Evaluated int    `json:"evaluated"` // orders ranked (k!)
+	// Evaluated counts the orders the answer accounts for: k! for the
+	// exact modes and a completed branch-and-bound (where pruned orders
+	// are accounted with proof), the covered orders for a beam answer,
+	// and the candidate-set size for degraded fallbacks.
+	Evaluated int `json:"evaluated"`
+	// SearchMode is how the ranking was computed: "exact" or "pruned"
+	// below the depth threshold, "bnb" (provably optimal) or "beam"
+	// (bounded gap) above it, "fallback" for degraded answers.
+	SearchMode string `json:"search_mode,omitempty"`
+	// OrdersEvaluated counts the model evaluations the search actually
+	// performed (equivalence classes predicted) — the honest work done,
+	// as reported by the engine rather than recomputed as k!.
+	OrdersEvaluated int64 `json:"orders_evaluated,omitempty"`
+	// OptimalityGap g is reported by beam answers: the true optimum time
+	// is guaranteed ≥ best×(1−g). Zero means provably optimal.
+	OptimalityGap float64 `json:"optimality_gap,omitempty"`
 	// Degraded marks a heuristic ring-cost ranking served while the
 	// advisor circuit breaker was open; Seconds/Bandwidth are absent.
 	Degraded bool               `json:"degraded,omitempty"`
 	Best     []AdvisePrediction `json:"best"`
-	Worst    AdvisePrediction   `json:"worst"`
+	// Worst is the worst-ranked order the search evaluated (the global
+	// worst for exact modes; bnb/beam prune or drop costlier subtrees
+	// without fully evaluating them).
+	Worst AdvisePrediction `json:"worst"`
 }
 
 // SelectRequest asks for the --cpu-bind=map_cpu core list that places N
@@ -181,7 +204,7 @@ type MatrixMapResponse struct {
 	BestOrder       []int   `json:"best_order"`
 	BestOrderCost   float64 `json:"best_order_cost"`
 	ImprovementPct  float64 `json:"improvement_pct"`
-	OrdersEvaluated int     `json:"orders_evaluated"`
+	OrdersEvaluated int64   `json:"orders_evaluated"`
 	Rounds          int     `json:"rounds,omitempty"`
 	Swaps           int     `json:"swaps,omitempty"`
 	Seed            int64   `json:"seed"`
@@ -241,8 +264,8 @@ func (q *parsedMap) Key() string {
 
 // Key returns the canonical cache key of the parsed request.
 func (q *parsedAdvise) Key() string {
-	return fmt.Sprintf("advise|%s|%d|%d|%s|%d|%d|%v|%d",
-		q.machine, q.nodes, q.nics, q.coll, q.comm, q.bytes, q.simultaneous, q.top)
+	return fmt.Sprintf("advise|%s|%d|%d|%d|%s|%d|%d|%v|%d",
+		q.machine, q.nodes, q.nics, q.depth, q.coll, q.comm, q.bytes, q.simultaneous, q.top)
 }
 
 // Key returns the canonical cache key of the parsed request.

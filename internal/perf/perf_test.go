@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"testing"
@@ -219,6 +220,9 @@ func TestTopSymbolsFromHeapProfile(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		sink = append(sink, allocBig())
 	}
+	// The heap profile is a snapshot as of the last completed GC cycle;
+	// without forcing one the allocations above may not be in it yet.
+	runtime.GC()
 	var buf bytes.Buffer
 	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
 		t.Fatal(err)

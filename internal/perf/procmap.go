@@ -88,7 +88,7 @@ func ProcmapSuite() Suite {
 			Name: fmt.Sprintf("ProcmapBestOrder/h=%s/%s", intsDash(pc.shape), pc.workload),
 			F: func(b *B) {
 				for i := 0; i < b.N; i++ {
-					if _, _, _, err := procmap.BestOrder(m, h, nil); err != nil {
+					if _, _, _, _, err := procmap.BestOrder(m, h, nil); err != nil {
 						b.Fatalf("%v", err)
 					}
 				}

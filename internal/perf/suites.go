@@ -171,6 +171,49 @@ func OrderSearchSuite() Suite {
 			},
 		})
 	}
+	// Deep hierarchies: the bounded branch-and-bound engine over
+	// cluster.Cloud at the depths mapd serves beyond the exact
+	// threshold. Non-simultaneous scenarios prune to an exact bnb run
+	// through depth 12; the simultaneous depth-12 case exhausts the
+	// node budget and degrades to beam, covering the fallback's cost.
+	deep := []struct {
+		depth int
+		sim   bool
+		mode  string
+	}{
+		{8, false, advisor.ModeBnB},
+		{10, false, advisor.ModeBnB},
+		{12, false, advisor.ModeBnB},
+		{12, true, advisor.ModeBeam},
+	}
+	for _, dc := range deep {
+		dc := dc
+		spec := cluster.Cloud(dc.depth)
+		adv := advisor.Scenario{
+			Spec:         spec,
+			Hierarchy:    spec.Hierarchy(),
+			Coll:         advisor.Alltoall,
+			CommSize:     64,
+			Simultaneous: dc.sim,
+			Bytes:        4 << 20,
+		}
+		wantMode := dc.mode
+		s.Benches = append(s.Benches, Bench{
+			Name: fmt.Sprintf("OrderSearchDeep/machine=cloud/d=%d/alltoall/c=64/%s", dc.depth, wantMode),
+			F: func(b *B) {
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					res, err := advisor.SearchOrders(ctx, adv, advisor.SearchOptions{Top: 5})
+					if err != nil {
+						b.Fatalf("%v", err)
+					}
+					if res.Mode != wantMode {
+						b.Fatalf("search mode %s, want %s", res.Mode, wantMode)
+					}
+				}
+			},
+		})
+	}
 	return s
 }
 

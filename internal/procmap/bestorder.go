@@ -18,19 +18,22 @@ import (
 
 // BestOrder evaluates every mixed-radix order of the hierarchy and returns
 // the order with the lowest weighted cost, the placement it induces
-// (rank i runs on core InverseTable[i]), and that cost. Nil weights select
-// DefaultWeights. Ties resolve to the lexicographically smallest order.
-func BestOrder(m *commmatrix.Matrix, h topology.Hierarchy, weights []float64) (sigma []int, placement []int, cost float64, err error) {
+// (rank i runs on core InverseTable[i]), that cost, and the number of
+// orders actually evaluated — callers report the engine's own count
+// instead of recomputing k! (which overflows int at depth ≥ 21/13 on
+// 64/32-bit). Nil weights select DefaultWeights. Ties resolve to the
+// lexicographically smallest order.
+func BestOrder(m *commmatrix.Matrix, h topology.Hierarchy, weights []float64) (sigma []int, placement []int, cost float64, evaluated int64, err error) {
 	n := m.Size()
 	if n != h.Size() {
-		return nil, nil, 0, fmt.Errorf("procmap: %d ranks for a machine with %d cores", n, h.Size())
+		return nil, nil, 0, 0, fmt.Errorf("procmap: %d ranks for a machine with %d cores", n, h.Size())
 	}
 	if weights == nil {
 		weights = DefaultWeights(h)
 	}
 	cm, err := newCostModel(h, weights)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	edges := m.Sparse().Edges
 	ar := h.Arities()
@@ -40,9 +43,10 @@ func BestOrder(m *commmatrix.Matrix, h topology.Hierarchy, weights []float64) (s
 	for _, s := range perm.All(h.Depth()) {
 		ro, rerr := mixedradix.NewReorderer(ar, s)
 		if rerr != nil {
-			return nil, nil, 0, rerr
+			return nil, nil, 0, 0, rerr
 		}
 		ro.InverseTableInto(inv)
+		evaluated++
 		var c float64
 		for _, e := range edges {
 			c += e.Bytes * cm.pairCost(inv[e.A], inv[e.B])
@@ -55,5 +59,5 @@ func BestOrder(m *commmatrix.Matrix, h topology.Hierarchy, weights []float64) (s
 			bestInv = append(bestInv[:0], inv...)
 		}
 	}
-	return bestSigma, bestInv, best, nil
+	return bestSigma, bestInv, best, evaluated, nil
 }

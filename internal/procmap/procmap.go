@@ -223,7 +223,7 @@ func Map(ctx context.Context, m *commmatrix.Matrix, h topology.Hierarchy, opts O
 	}
 	init := opts.InitPlacement
 	if init == nil && !opts.NoOrderInit && h.Depth() <= orderInitMaxDepth {
-		if _, inv, _, oerr := BestOrder(m, h, opts.Weights); oerr == nil {
+		if _, inv, _, _, oerr := BestOrder(m, h, opts.Weights); oerr == nil {
 			init = inv
 		}
 	}

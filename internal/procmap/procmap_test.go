@@ -153,7 +153,7 @@ func TestMapRejectsSizeMismatch(t *testing.T) {
 	if _, err := Map(context.Background(), m, h, Options{}); err == nil {
 		t.Fatal("size mismatch accepted")
 	}
-	if _, _, _, err := BestOrder(m, h, nil); err == nil {
+	if _, _, _, _, err := BestOrder(m, h, nil); err == nil {
 		t.Fatal("BestOrder size mismatch accepted")
 	}
 }
@@ -176,7 +176,7 @@ func TestWeightsValidation(t *testing.T) {
 func TestBestOrderMatchesCommmatrix(t *testing.T) {
 	h := topology.MustNew(2, 2, 4)
 	m := interleaved(100)
-	sigma, placement, cost, err := BestOrder(m, h, nil)
+	sigma, placement, cost, _, err := BestOrder(m, h, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,7 +57,7 @@ func TestHaloMappingBeatsBestOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, orderCost, err := BestOrder(m, h, nil)
+	_, _, orderCost, _, err := BestOrder(m, h, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestSplattHubMappingBeatsBestOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, orderCost, err := BestOrder(m, h, nil)
+	_, _, orderCost, _, err := BestOrder(m, h, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestUniformCollectivesTieWithBestOrder(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, orderCost, err := BestOrder(m, h, nil)
+		_, _, orderCost, _, err := BestOrder(m, h, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
