@@ -92,32 +92,50 @@ smoke:
 # must answer non-degraded. Then the drill executes the plan's restart:
 # the victim comes back on its old address, the gate's health checker
 # must re-admit it (state healthy in /v1/fleet), and a second load run
-# must show traffic attributed to the restarted replica. Finally, with
-# every replica killed, the gate must still answer, flagged degraded,
-# from its local σ-order fallback.
-SMOKE_FLEET_GATE ?= 127.0.0.1:18070
-SMOKE_FLEET_R0   ?= 127.0.0.1:18071
-SMOKE_FLEET_R1   ?= 127.0.0.1:18072
-SMOKE_FLEET_R2   ?= 127.0.0.1:18073
-SMOKE_FLEET_PLAN ?= seed=42;replica-chaos:kills=1,by=1.6s,restart=2s@t=1.1s
+# must show traffic attributed to the restarted replica. It also probes
+# the fleet observability plane: /v1/fleet/stats and /v1/fleet/slo must
+# serve merged rollups, and one advise issued with a fixed traceparent
+# must — after every process has drained and written its trace export —
+# stitch (mrtrace -stitch) into a single cross-process trace carrying
+# both gate and replica spans on that id. Finally, with every replica
+# killed, the gate must still answer, flagged degraded, from its local
+# σ-order fallback. On CI failure the trace exports under
+# /tmp/fleet-stitch* and /tmp/mr*-trace.json upload as artifacts.
+SMOKE_FLEET_GATE    ?= 127.0.0.1:18070
+SMOKE_FLEET_R0      ?= 127.0.0.1:18071
+SMOKE_FLEET_R1      ?= 127.0.0.1:18072
+SMOKE_FLEET_R2      ?= 127.0.0.1:18073
+SMOKE_FLEET_PLAN    ?= seed=42;replica-chaos:kills=1,by=1.6s,restart=2s@t=1.1s
+SMOKE_FLEET_TRACEID ?= 1af7651916cd43dd8448eb211c80319d
 
 smoke-fleet:
 	$(GO) build -o /tmp/mrserved.smoke ./cmd/mrserved
 	$(GO) build -o /tmp/mrgate.smoke ./cmd/mrgate
 	$(GO) build -o /tmp/mrload.smoke ./cmd/mrload
+	$(GO) build -o /tmp/mrtrace.smoke ./cmd/mrtrace
 	@set -e; \
-	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R0) -name r0 -announce 50ms & p0=$$!; \
-	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R1) -name r1 -announce 50ms & p1=$$!; \
-	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R2) -name r2 -announce 50ms & p2=$$!; \
+	rm -f /tmp/mrgate-smoke-trace.json /tmp/mrserved-r0-trace.json \
+		/tmp/mrserved-r1-trace.json /tmp/mrserved-r2-trace.json; \
+	rm -rf /tmp/fleet-stitch; \
+	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R0) -name r0 -announce 50ms \
+		-trace /tmp/mrserved-r0-trace.json & p0=$$!; \
+	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R1) -name r1 -announce 50ms \
+		-trace /tmp/mrserved-r1-trace.json & p1=$$!; \
+	/tmp/mrserved.smoke -addr $(SMOKE_FLEET_R2) -name r2 -announce 50ms \
+		-trace /tmp/mrserved-r2-trace.json & p2=$$!; \
 	/tmp/mrgate.smoke -addr $(SMOKE_FLEET_GATE) \
 		-replicas http://$(SMOKE_FLEET_R0),http://$(SMOKE_FLEET_R1),http://$(SMOKE_FLEET_R2) \
-		-check-interval 100ms -backoff 1ms -max-backoff 20ms -announce 50ms & pg=$$!; \
+		-check-interval 100ms -backoff 1ms -max-backoff 20ms -announce 50ms \
+		-trace /tmp/mrgate-smoke-trace.json & pg=$$!; \
 	trap 'kill $$p0 $$p1 $$p2 $$pg 2>/dev/null || true' EXIT; \
 	up=0; for i in $$(seq 1 50); do \
 		if curl -fsS http://$(SMOKE_FLEET_GATE)/healthz >/dev/null 2>&1; then up=1; break; fi; \
 		sleep 0.1; \
 	done; \
 	test $$up = 1 || { echo "smoke-fleet: mrgate never came up on $(SMOKE_FLEET_GATE)"; exit 1; }; \
+	curl -fsS -X POST -H 'traceparent: 00-$(SMOKE_FLEET_TRACEID)-b7ad6b7169203331-01' \
+		-d '{"machine":"hydra","nodes":4,"collective":"allreduce","comm_size":16}' \
+		http://$(SMOKE_FLEET_GATE)/v1/advise >/dev/null; \
 	victim=$$(/tmp/mrgate.smoke -print-plan -plan '$(SMOKE_FLEET_PLAN)' -fleet-size 3 \
 		| awk '/^kill/{print $$2; exit}'); \
 	killat=$$(/tmp/mrgate.smoke -print-plan -plan '$(SMOKE_FLEET_PLAN)' -fleet-size 3 \
@@ -151,6 +169,10 @@ smoke-fleet:
 	done; \
 	test $$readmitted = 1 || { echo "smoke-fleet: gate never re-admitted restarted r$$victim"; \
 		curl -fsS http://$(SMOKE_FLEET_GATE)/v1/fleet; exit 1; }; \
+	curl -fsS http://$(SMOKE_FLEET_GATE)/v1/fleet/stats | grep -q '"merged"' || \
+		{ echo "smoke-fleet: /v1/fleet/stats has no merged rollup"; exit 1; }; \
+	curl -fsS http://$(SMOKE_FLEET_GATE)/v1/fleet/slo | grep -q '"per_replica"' || \
+		{ echo "smoke-fleet: /v1/fleet/slo has no per-replica rollup"; exit 1; }; \
 	/tmp/mrload.smoke -url http://$(SMOKE_FLEET_GATE) -c 8 -warmup 200ms -d 1s \
 		-backoff 1ms -maxbackoff 50ms -json > /tmp/mrload-fleet2.json || \
 		{ echo "smoke-fleet: post-restart mrload run failed"; cat /tmp/mrload-fleet2.json; exit 1; }; \
@@ -169,9 +191,16 @@ smoke-fleet:
 		echo "smoke-fleet: fleet-down advise not served degraded: $$fallback"; exit 1;; esac; \
 	kill -TERM $$pg; wait $$pg; \
 	trap - EXIT; \
-	rm -f /tmp/mrserved.smoke /tmp/mrgate.smoke /tmp/mrload.smoke \
+	wait $$vpid $$p0 $$p1 $$p2 2>/dev/null || true; \
+	mkdir -p /tmp/fleet-stitch; \
+	/tmp/mrtrace.smoke -stitch /tmp/mrgate-smoke-trace.json,/tmp/mrserved-r0-trace.json,/tmp/mrserved-r1-trace.json,/tmp/mrserved-r2-trace.json \
+		-o /tmp/fleet-stitch > /tmp/fleet-stitch/stitch.txt; \
+	grep -E 'trace $(SMOKE_FLEET_TRACEID): .*mrgate.*mrserved' /tmp/fleet-stitch/stitch.txt || \
+		{ echo "smoke-fleet: stitched trace lacks gate+replica spans on the injected id"; \
+		  cat /tmp/fleet-stitch/stitch.txt; exit 1; }; \
+	rm -f /tmp/mrserved.smoke /tmp/mrgate.smoke /tmp/mrload.smoke /tmp/mrtrace.smoke \
 		/tmp/mrload-fleet.json /tmp/mrload-fleet2.json; \
-	echo "smoke-fleet: kill/failover/restart/fallback OK (victim r$$victim from seeded plan)"
+	echo "smoke-fleet: kill/failover/restart/rollup/stitch/fallback OK (victim r$$victim from seeded plan)"
 
 # BENCH_SUITES are the committed trajectory baselines the regression gate
 # compares against; BENCH_GIT/BENCH_TS stamp fresh records so trajectory

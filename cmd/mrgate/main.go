@@ -12,11 +12,19 @@
 //	mrgate -addr 127.0.0.1:8070 \
 //	       -replicas http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
 //	mrgate -replicas ... -hedge 20ms -retries 3 -retry-budget 0.1
+//	mrgate -replicas ... -trace gate-trace.json -sample 1
 //
 // Endpoints: POST /v1/map, /v1/advise, /v1/select, /v1/metrics/order,
 // /v1/map/matrix (proxied); GET /metrics (fleet_* Prometheus metrics),
-// /v1/fleet (replica states + retry budget), /healthz (healthy |
-// degraded | draining).
+// /v1/fleet (replica states + retry budget + outlier flags),
+// /v1/fleet/stats and /v1/fleet/slo (merged replica rollups), /healthz
+// (healthy | degraded | draining).
+//
+// With -trace the gate joins the tracing plane: every routed request
+// commits a gate-side span tree (route root, per-attempt proxy spans,
+// backoff and fallback children) under the same trace id it forwards
+// to the replicas, written as Perfetto JSON on shutdown. Stitch the
+// gate export with the replicas' via mrtrace -stitch.
 //
 // A second mode prints a fault plan's replica-kill schedule and exits —
 // the smoke harness uses it to pick its victim deterministically:
@@ -40,6 +48,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/obs/rt"
 )
 
@@ -61,6 +70,9 @@ type options struct {
 	announce    time.Duration
 	drain       time.Duration
 
+	traceFile string
+	sample    float64
+
 	planText  string
 	fleetSize int
 	printPlan bool
@@ -78,12 +90,13 @@ func splitList(s string) []string {
 	return out
 }
 
-func buildRouter(o options) (*fleet.Router, error) {
+func buildRouter(o options, tracer *rt.Tracer) (*fleet.Router, error) {
 	var names []string
 	if o.names != "" {
 		names = splitList(o.names)
 	}
 	return fleet.New(fleet.Config{
+		Tracer:           tracer,
 		Replicas:         splitList(o.replicas),
 		Names:            names,
 		VNodes:           o.vnodes,
@@ -182,6 +195,8 @@ func main() {
 	flag.DurationVar(&o.probeTO, "check-timeout", 500*time.Millisecond, "health probe timeout")
 	flag.DurationVar(&o.announce, "announce", 500*time.Millisecond, "drain announcement window before the listener closes")
 	flag.DurationVar(&o.drain, "drain", 5*time.Second, "graceful-shutdown drain budget")
+	flag.StringVar(&o.traceFile, "trace", "", "write the gate-side request-trace Perfetto JSON here on shutdown")
+	flag.Float64Var(&o.sample, "sample", 1, "trace head-sampling ratio (1 = all; negative = errors only)")
 	flag.StringVar(&o.planText, "plan", "", "fault plan (internal/fault DSL) for -print-plan")
 	flag.IntVar(&o.fleetSize, "fleet-size", 3, "replica count for -print-plan")
 	flag.BoolVar(&o.printPlan, "print-plan", false, "print the plan's replica kill/restart schedule and exit")
@@ -195,7 +210,8 @@ func main() {
 		return
 	}
 
-	g, err := buildRouter(o)
+	tracer := rt.NewTracer(rt.Options{Service: "mrgate", SampleRatio: o.sample})
+	g, err := buildRouter(o, tracer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mrgate:", err)
 		os.Exit(1)
@@ -205,5 +221,12 @@ func main() {
 	if err := serve(ctx, g, o, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "mrgate:", err)
 		os.Exit(1)
+	}
+	if o.traceFile != "" {
+		if terr := obs.WriteTraceFile(o.traceFile, tracer.Scope()); terr != nil {
+			logger.Error("writing trace", "path", o.traceFile, "error", terr)
+			os.Exit(1)
+		}
+		logger.Info("wrote trace", "path", o.traceFile)
 	}
 }

@@ -51,14 +51,14 @@ func TestPrintPlanRejectsBadPlan(t *testing.T) {
 }
 
 func TestBuildRouterValidation(t *testing.T) {
-	if _, err := buildRouter(options{replicas: ""}); err == nil {
+	if _, err := buildRouter(options{replicas: ""}, nil); err == nil {
 		t.Fatal("empty replica list accepted")
 	}
 	g, err := buildRouter(options{
 		replicas: "http://127.0.0.1:1, http://127.0.0.1:2 ,",
 		names:    "a,b",
 		interval: time.Hour,
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,7 +22,10 @@
 // shot pool instead of uniformly, so a handful of shapes dominate — the
 // realistic mix that exercises mapd's top-K workload analytics. -json
 // replaces the human report with a machine-readable summary for
-// experiment scripts.
+// experiment scripts; adding -stitched <file> resolves each latency
+// bucket's exemplar trace id through a stitched gate+replica trace
+// (mrtrace -stitch) into a gate_ms/server_ms split, so a slow bucket
+// says at a glance whether the gate or the replica ate the time.
 //
 // Exit status is 1 only when not a single request succeeded; a degraded
 // run with nonzero goodput exits 0 so overload experiments can record it.
@@ -46,6 +49,7 @@ import (
 	"repro/internal/commmatrix"
 	"repro/internal/fleet"
 	"repro/internal/mapd"
+	"repro/internal/obs"
 	"repro/internal/obs/rt"
 	"repro/internal/procmap"
 )
@@ -479,6 +483,45 @@ type bucketReport struct {
 	Count         int64   `json:"count"`
 	ExemplarTrace string  `json:"exemplar_trace,omitempty"`
 	ExemplarMs    float64 `json:"exemplar_ms,omitempty"`
+	// GateMs/ServerMs split the exemplar's latency between the routing
+	// tier and the serving replica, resolved from a stitched trace export
+	// (-stitched); absent without one.
+	GateMs   float64 `json:"gate_ms,omitempty"`
+	ServerMs float64 `json:"server_ms,omitempty"`
+}
+
+// resolveBucketSplit annotates each bucket's exemplar with its gate-vs-
+// server latency split, read from a stitched trace scope (mrtrace
+// -stitch output): on the exemplar's "trace <id>" tracks, gate_ms is the
+// longest "gate "-prefixed span (the mrgate route root) and server_ms
+// the longest "http "-prefixed one (the mrserved request root). Scope
+// times are seconds; exemplars whose trace is not in the scope (not
+// head-sampled, or the file predates the run) stay unannotated.
+func resolveBucketSplit(buckets []bucketReport, sc *obs.Scope) {
+	for i := range buckets {
+		id := buckets[i].ExemplarTrace
+		if id == "" {
+			continue
+		}
+		var gate, server float64
+		for _, sp := range sc.Spans() {
+			if sc.ThreadName(sp.PID, sp.TID) != "trace "+id {
+				continue
+			}
+			d := (sp.End - sp.Start) * 1e3
+			switch {
+			case strings.HasPrefix(sp.Name, "gate "):
+				if d > gate {
+					gate = d
+				}
+			case strings.HasPrefix(sp.Name, "http "):
+				if d > server {
+					server = d
+				}
+			}
+		}
+		buckets[i].GateMs, buckets[i].ServerMs = gate, server
+	}
 }
 
 // buildReport folds run totals into the -json summary. latencies must be
@@ -571,7 +614,44 @@ func main() {
 		`traceparent injection: empty = none, "auto" = fresh sampled trace per request, else sent verbatim`)
 	skew := flag.Float64("skew", 0, "Zipf exponent for the shot mix (0 = uniform; 1.2 ≈ real-traffic skew)")
 	jsonOut := flag.Bool("json", false, "print a machine-readable JSON summary instead of the human report")
+	stitched := flag.String("stitched", "",
+		"stitched trace export (mrtrace -stitch) to resolve -json bucket exemplars into gate_ms/server_ms splits")
+	resolve := flag.String("resolve", "",
+		"post-process: annotate a previously written -json report via -stitched and print it, without generating load")
 	flag.Parse()
+
+	// Offline drill-down: the fleet's trace exports are only written on
+	// drain, after a live run's report — so the split resolution is also
+	// available as a post-processing pass over a saved report.
+	if *resolve != "" {
+		if *stitched == "" {
+			fmt.Fprintln(os.Stderr, "mrload: -resolve needs -stitched")
+			os.Exit(2)
+		}
+		b, err := os.ReadFile(*resolve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrload:", err)
+			os.Exit(1)
+		}
+		var r report
+		if err := json.Unmarshal(b, &r); err != nil {
+			fmt.Fprintln(os.Stderr, "mrload:", err)
+			os.Exit(1)
+		}
+		sc, err := obs.ReadTraceFile(*stitched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrload:", err)
+			os.Exit(1)
+		}
+		resolveBucketSplit(r.Buckets, sc)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "mrload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	targets := []string{*url}
 	if *targetsFlag != "" {
@@ -644,9 +724,18 @@ func main() {
 	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
 
 	if *jsonOut {
+		r := buildReport(t, *dur, *conc, len(shots), *skew)
+		if *stitched != "" {
+			sc, err := obs.ReadTraceFile(*stitched)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mrload:", err)
+				os.Exit(1)
+			}
+			resolveBucketSplit(r.Buckets, sc)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(buildReport(t, *dur, *conc, len(shots), *skew)); err != nil {
+		if err := enc.Encode(r); err != nil {
 			fmt.Fprintln(os.Stderr, "mrload:", err)
 			os.Exit(1)
 		}

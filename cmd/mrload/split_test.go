@@ -1,0 +1,62 @@
+// Exemplar drill-down: bucket exemplar trace ids resolve through a
+// stitched gate+replica scope into the gate-vs-server latency split.
+
+package main
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/rt"
+)
+
+func TestResolveBucketSplit(t *testing.T) {
+	// Gate: a 30ms route root wrapping a 20ms proxy attempt.
+	gateNow := time.Unix(3000, 0)
+	gate := rt.NewTracer(rt.Options{Service: "mrgate", Now: func() time.Time { return gateNow }})
+	ctx, root := gate.StartRequest(context.Background(), "gate /v1/advise", "")
+	tp := root.Traceparent()
+	gateNow = gateNow.Add(5 * time.Millisecond)
+	_, proxy := rt.StartSpan(ctx, "proxy r0")
+	gateNow = gateNow.Add(20 * time.Millisecond)
+	proxy.End()
+	gateNow = gateNow.Add(5 * time.Millisecond)
+	root.End()
+
+	// Replica: the same trace's 18ms server-side root.
+	repNow := time.Unix(4000, 0)
+	rep := rt.NewTracer(rt.Options{Service: "mrserved", Now: func() time.Time { return repNow }})
+	_, rroot := rep.StartRequest(context.Background(), "http /v1/advise", tp)
+	repNow = repNow.Add(18 * time.Millisecond)
+	rroot.End()
+
+	stitched, _ := obs.Stitch([]obs.StitchInput{
+		{Label: "mrgate", Scope: gate.Scope()},
+		{Label: "mrserved-0", Scope: rep.Scope()},
+	})
+
+	id, _, _, ok := rt.ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("bad traceparent %q", tp)
+	}
+	buckets := []bucketReport{
+		{LeMs: 50, Count: 3, ExemplarTrace: id.String(), ExemplarMs: 31},
+		{LeMs: 100, Count: 1, ExemplarTrace: "feedfacefeedfacefeedfacefeedface"},
+		{LeMs: 0, Count: 2},
+	}
+	resolveBucketSplit(buckets, stitched)
+
+	const eps = 1e-6
+	if math.Abs(buckets[0].GateMs-30) > eps || math.Abs(buckets[0].ServerMs-18) > eps {
+		t.Fatalf("split = gate %.3fms / server %.3fms, want 30/18", buckets[0].GateMs, buckets[0].ServerMs)
+	}
+	if buckets[1].GateMs != 0 || buckets[1].ServerMs != 0 {
+		t.Fatalf("unknown trace id annotated: %+v", buckets[1])
+	}
+	if buckets[2].GateMs != 0 || buckets[2].ServerMs != 0 {
+		t.Fatalf("exemplar-less bucket annotated: %+v", buckets[2])
+	}
+}

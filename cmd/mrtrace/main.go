@@ -21,6 +21,16 @@
 // -open reads a trace-event JSON file written elsewhere (e.g. mrserved's
 // -trace output of request-scoped server spans) instead of running a
 // scenario, and prints its metadata plus the same flame summary.
+//
+// -stitch merges several trace exports from cooperating processes — a
+// gate's (mrgate -trace) and its replicas' (mrserved -trace) — into one
+// Perfetto file joined on shared W3C trace ids, each input as its own
+// process with clocks aligned to the first input's:
+//
+//	mrtrace -stitch gate.json,r0.json,r1.json -o out/
+//
+// writes out/stitched.json and prints one line per cross-process trace
+// with the per-input span counts.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cg"
@@ -45,6 +56,7 @@ import (
 func main() {
 	scenario := flag.String("scenario", "bench", "workload to trace: bench, cg, or splatt")
 	open := flag.String("open", "", "summarize this trace-event JSON file instead of running a scenario")
+	stitch := flag.String("stitch", "", "comma-separated trace exports to merge on shared trace ids (first file anchors the clock)")
 	outDir := flag.String("o", ".", "directory for trace.json, metrics.prom, metrics.csv")
 	topK := flag.Int("topk", 10, "operations to show in the flame summary")
 	top := flag.Int("top", 0, "also print the N slowest spans per track (0 disables)")
@@ -52,6 +64,13 @@ func main() {
 	blockSpans := flag.Bool("blockspans", false, "also record engine block/wake spans (verbose)")
 	flag.Parse()
 
+	if *stitch != "" {
+		if err := stitchTraces(os.Stdout, strings.Split(*stitch, ","), *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "mrtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *open != "" {
 		if err := openTrace(os.Stdout, *open, *topK, *top); err != nil {
 			fmt.Fprintln(os.Stderr, "mrtrace:", err)
@@ -143,6 +162,56 @@ func openTrace(w io.Writer, path string, topK, top int) error {
 		fmt.Fprintln(w)
 		fmt.Fprint(w, obs.FormatTopSpans(obs.TopSpans(sc, top)))
 	}
+	return nil
+}
+
+// stitchTraces merges the given trace exports into outDir/stitched.json
+// via obs.Stitch, labelling each Perfetto process by its file's base name,
+// and prints one line per cross-process trace id with the per-input span
+// counts — the join proof the fleet smoke test greps for.
+func stitchTraces(w io.Writer, paths []string, outDir string) error {
+	var clean []string
+	for _, p := range paths {
+		if p = strings.TrimSpace(p); p != "" {
+			clean = append(clean, p)
+		}
+	}
+	if len(clean) < 2 {
+		return fmt.Errorf("-stitch needs at least two trace files, got %d", len(clean))
+	}
+	inputs := make([]obs.StitchInput, 0, len(clean))
+	for _, p := range clean {
+		sc, err := obs.ReadTraceFile(p)
+		if err != nil {
+			return err
+		}
+		label := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		inputs = append(inputs, obs.StitchInput{Label: label, Scope: sc})
+	}
+	merged, summaries := obs.Stitch(inputs)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	out := filepath.Join(outDir, "stitched.json")
+	if err := obs.WriteTraceFile(out, merged); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d spans from %d inputs)\n", out, len(merged.Spans()), len(inputs))
+	shared := 0
+	for _, s := range summaries {
+		if !s.Shared {
+			continue
+		}
+		shared++
+		fmt.Fprintf(w, "trace %s:", s.ID)
+		for i, n := range s.Spans {
+			if n > 0 {
+				fmt.Fprintf(w, " %s=%d", inputs[i].Label, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%d traces, %d cross-process\n", len(summaries), shared)
 	return nil
 }
 

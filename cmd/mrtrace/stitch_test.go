@@ -1,0 +1,90 @@
+// The -stitch mode end to end on files: two tracer exports sharing a
+// trace id round-trip through WriteTraceFile, merge into stitched.json,
+// and the printed join lines name both inputs on the shared id.
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/rt"
+)
+
+func TestStitchTracesFiles(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(2000, 0)
+	step := func() time.Time { now = now.Add(5 * time.Millisecond); return now }
+
+	gate := rt.NewTracer(rt.Options{Service: "mrgate", Now: step})
+	ctx, root := gate.StartRequest(context.Background(), "gate /v1/advise", "")
+	tp := root.Traceparent()
+	_, proxy := rt.StartSpan(ctx, "proxy r0")
+	proxy.End()
+	root.End()
+
+	rep := rt.NewTracer(rt.Options{Service: "mrserved", Now: step})
+	_, rroot := rep.StartRequest(context.Background(), "http /v1/advise", tp)
+	rroot.End()
+
+	gatePath := filepath.Join(dir, "mrgate-trace.json")
+	repPath := filepath.Join(dir, "mrserved-0-trace.json")
+	if err := obs.WriteTraceFile(gatePath, gate.Scope()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteTraceFile(repPath, rep.Scope()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := stitchTraces(&buf, strings.Split(gatePath+" , "+repPath, ","), filepath.Join(dir, "out")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	id, _, _, ok := rt.ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("bad traceparent %q", tp)
+	}
+	joinLine := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "trace "+id.String()+":") {
+			joinLine = l
+		}
+	}
+	if joinLine == "" {
+		t.Fatalf("no join line for trace %s in output:\n%s", id, out)
+	}
+	if !strings.Contains(joinLine, "mrgate-trace=2") || !strings.Contains(joinLine, "mrserved-0-trace=1") {
+		t.Fatalf("join line %q missing per-input span counts", joinLine)
+	}
+	if !strings.Contains(out, "1 traces, 1 cross-process") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+
+	stitched, err := obs.ReadTraceFile(filepath.Join(dir, "out", "stitched.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(stitched.Spans()); got != 3 {
+		t.Fatalf("stitched.json has %d spans, want 3", got)
+	}
+	if got := stitched.ProcessName(1); got != "mrgate-trace" {
+		t.Fatalf("pid 1 = %q", got)
+	}
+	if got := stitched.ProcessName(2); got != "mrserved-0-trace" {
+		t.Fatalf("pid 2 = %q", got)
+	}
+}
+
+func TestStitchTracesNeedsTwoFiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := stitchTraces(&buf, []string{"only.json", " "}, t.TempDir()); err == nil {
+		t.Fatal("one input accepted")
+	}
+}

@@ -62,6 +62,42 @@ const (
 	DefaultBeamWidth  = 32
 )
 
+// Progress event kinds.
+const (
+	// ProgressIncumbent: the best evaluated completion time strictly
+	// improved. Within one search phase (mode) the IncumbentTime sequence
+	// of these events is strictly decreasing.
+	ProgressIncumbent = "incumbent"
+	// ProgressCoverage: a periodic heartbeat every ProgressEvery visited
+	// nodes, carrying the covered/pruned/evaluated tallies.
+	ProgressCoverage = "coverage"
+)
+
+// DefaultProgressEvery is the node interval between coverage events.
+const DefaultProgressEvery = 10_000
+
+// SearchProgress is one live progress event of a bounded search,
+// delivered synchronously from the search goroutine.
+type SearchProgress struct {
+	// Kind is ProgressIncumbent or ProgressCoverage.
+	Kind string
+	// Mode is the phase emitting the event (ModeBnB, or ModeBeam after
+	// the node budget forced the fallback).
+	Mode string
+	// Elapsed is wall time since the search started.
+	Elapsed time.Duration
+	// Nodes/Evaluated/Covered/Pruned mirror the SearchResult tallies at
+	// the instant of the event.
+	Nodes, Evaluated, Covered, Pruned int64
+	// IncumbentTime is the best evaluated completion time so far in
+	// seconds (0 before the first leaf evaluation of the phase).
+	IncumbentTime float64
+	// BoundGap bounds the remaining optimality headroom against the root
+	// admissible lower bound: the true optimum is ≥ IncumbentTime ×
+	// (1 − BoundGap). It shrinks as incumbents improve.
+	BoundGap float64
+}
+
 // SearchOptions bounds SearchOrders.
 type SearchOptions struct {
 	// NodeBudget caps the prefix-tree nodes the branch-and-bound may
@@ -76,6 +112,15 @@ type SearchOptions struct {
 	// RankOptions, labeled/reported with ModeBnB or ModeBeam.
 	Registry *obs.Registry
 	OnStats  func(RankStats)
+	// Progress, when set, receives live search progress: one event per
+	// strict incumbent improvement plus a coverage heartbeat every
+	// ProgressEvery nodes. Events also feed the advisor_search_* gauges
+	// (when Registry is set) and the advisor.search span's
+	// search_progress instant-event stream.
+	Progress func(SearchProgress)
+	// ProgressEvery overrides the coverage heartbeat interval in visited
+	// nodes; 0 means DefaultProgressEvery.
+	ProgressEvery int64
 }
 
 // SearchResult is the outcome of one bounded search.
@@ -137,6 +182,13 @@ func SearchOrders(ctx context.Context, sc Scenario, opts SearchOptions) (*Search
 	defer span.End()
 
 	e := newBnbEngine(ctx, sc, top, budget)
+	e.start = start
+	if opts.ProgressEvery > 0 {
+		e.every = opts.ProgressEvery
+	}
+	if opts.Progress != nil || opts.Registry != nil || span != nil {
+		e.progress = progressSink(span, opts)
+	}
 	mode := ModeBnB
 	gap := 0.0
 	err := e.dfs(e.prefix, 0, 1)
@@ -144,10 +196,13 @@ func SearchOrders(ctx context.Context, sc Scenario, opts SearchOptions) (*Search
 		// Budget spent: discard the partial branch-and-bound incumbents
 		// (their pruning accounting is no longer meaningful) and answer
 		// from the beam. The class memo is kept — re-encountered
-		// signatures stay free.
+		// signatures stay free. The incumbent progress stream restarts
+		// with the phase: each mode's event sequence is monotone on its
+		// own.
 		mode = ModeBeam
 		e.inc.leaves = e.inc.leaves[:0]
 		e.covered, e.pruned = 0, 0
+		e.mode, e.best = ModeBeam, math.Inf(1)
 		gap, err = e.beam(width)
 	}
 	if err != nil {
@@ -191,6 +246,42 @@ func SearchOrders(ctx context.Context, sc Scenario, opts SearchOptions) (*Search
 		})
 	}
 	return res, nil
+}
+
+// progressSink fans one progress event out to the three consumers: the
+// advisor_search_* gauges (per-mode series, so each stays monotone within
+// a run), the advisor.search span's search_progress instant-event stream,
+// and the caller's sink.
+func progressSink(span *rt.Span, opts SearchOptions) func(SearchProgress) {
+	return func(p SearchProgress) {
+		if opts.Registry != nil {
+			ml := obs.L("mode", p.Mode)
+			opts.Registry.Gauge("advisor_search_nodes", ml).Set(float64(p.Nodes))
+			opts.Registry.Gauge("advisor_search_incumbent_seconds", ml).Set(p.IncumbentTime)
+			opts.Registry.Gauge("advisor_search_bound_gap", ml).Set(p.BoundGap)
+			if p.Kind == ProgressIncumbent {
+				opts.Registry.Counter("advisor_search_incumbent_improvements_total", ml).Add(1)
+			}
+		}
+		span.Event("search_progress",
+			obs.Arg{Key: "improvement", Val: b2i64(p.Kind == ProgressIncumbent)},
+			obs.Arg{Key: "nodes", Val: p.Nodes},
+			obs.Arg{Key: "covered", Val: p.Covered},
+			obs.Arg{Key: "pruned", Val: p.Pruned},
+			obs.Arg{Key: "incumbent_us", Val: int64(p.IncumbentTime * 1e6)},
+			obs.Arg{Key: "gap_bp", Val: int64(p.BoundGap * 1e4)},
+		)
+		if opts.Progress != nil {
+			opts.Progress(p)
+		}
+	}
+}
+
+func b2i64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // classLeaf is one evaluated equivalence node of the prefix tree: a
@@ -301,6 +392,17 @@ type bnbEngine struct {
 
 	nodes, evals, covered, pruned int64
 	budget                        int64
+
+	// Progress stream state: the sink (nil when nobody listens), the
+	// coverage heartbeat interval, the wall start, the phase label, the
+	// best incumbent time seen this phase, and the root admissible lower
+	// bound the gap is measured against.
+	progress func(SearchProgress)
+	every    int64
+	start    time.Time
+	mode     string
+	best     float64
+	rootLB   float64
 }
 
 func newBnbEngine(ctx context.Context, sc Scenario, top int, budget int64) *bnbEngine {
@@ -339,7 +441,35 @@ func newBnbEngine(ctx context.Context, sc Scenario, top int, budget int64) *bnbE
 		inc:      incumbents{top: top},
 		prefix:   make([]int, 0, k),
 		budget:   budget,
+		every:    DefaultProgressEvery,
+		start:    time.Now(),
+		mode:     ModeBnB,
+		best:     math.Inf(1),
+		rootLB:   latFloor[metrics.BestCompletionCrossLevel(h.Arities(), nil, sc.CommSize)],
 	}
+}
+
+// emit delivers one progress event to the configured sink.
+func (e *bnbEngine) emit(kind string) {
+	if e.progress == nil {
+		return
+	}
+	p := SearchProgress{
+		Kind:      kind,
+		Mode:      e.mode,
+		Elapsed:   time.Since(e.start),
+		Nodes:     e.nodes,
+		Evaluated: e.evals,
+		Covered:   e.covered,
+		Pruned:    e.pruned,
+	}
+	if !math.IsInf(e.best, 1) {
+		p.IncumbentTime = e.best
+		if e.best > 0 && e.rootLB < e.best {
+			p.BoundGap = (e.best - e.rootLB) / e.best
+		}
+	}
+	e.progress(p)
 }
 
 // dfs walks the prefix tree depth-first, children in ascending level
@@ -350,6 +480,9 @@ func (e *bnbEngine) dfs(prefix []int, used uint32, prod int) error {
 		if err := e.ctx.Err(); err != nil {
 			return err
 		}
+	}
+	if e.nodes%e.every == 0 {
+		e.emit(ProgressCoverage)
 	}
 	if e.nodes > e.budget {
 		return errNodeBudget
@@ -444,6 +577,10 @@ func (e *bnbEngine) evalLeaf(prefix []int) error {
 	size := perm.Factorial(e.k - split)
 	e.covered += size
 	e.inc.insert(classLeaf{order: sigma, split: split, pr: pr, size: size})
+	if best := e.inc.leaves[0].pr.Time; best < e.best {
+		e.best = best
+		e.emit(ProgressIncumbent)
+	}
 	if !e.haveWorst || pr.Time > e.worst.Time {
 		w := pr
 		// The lexicographically greatest member (prefix + descending
@@ -480,6 +617,9 @@ func (e *bnbEngine) beam(width int) (float64, error) {
 					if err := e.ctx.Err(); err != nil {
 						return 0, err
 					}
+				}
+				if e.nodes%e.every == 0 {
+					e.emit(ProgressCoverage)
 				}
 				child := append(append(make([]int, 0, e.k), c.prefix...), l)
 				prod := c.prod * e.ar[l]

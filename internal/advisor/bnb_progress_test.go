@@ -1,0 +1,138 @@
+package advisor
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/obs/rt"
+)
+
+// collectProgress runs a bounded search with a recording sink and returns
+// the result with the events.
+func collectProgress(t *testing.T, depth int, opts SearchOptions) (*SearchResult, []SearchProgress) {
+	t.Helper()
+	sc := Scenario{
+		Spec:      cluster.Cloud(depth),
+		Hierarchy: cluster.CloudHierarchy(depth),
+		Coll:      Allgather,
+		CommSize:  cluster.CloudHierarchy(depth).Size(),
+		Bytes:     1 << 20,
+	}
+	var events []SearchProgress
+	opts.Progress = func(p SearchProgress) { events = append(events, p) }
+	res, err := SearchOrders(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, events
+}
+
+// TestSearchProgressMonotone is the live-progress contract: incumbent
+// events improve strictly monotonically within each phase, coverage
+// heartbeats carry nondecreasing tallies, and the last incumbent of the
+// answering phase equals the returned best time.
+func TestSearchProgressMonotone(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		depth int
+		opts  SearchOptions
+		mode  string
+	}{
+		{name: "bnb", depth: 7, opts: SearchOptions{ProgressEvery: 1000}, mode: ModeBnB},
+		{name: "beam", depth: 8, opts: SearchOptions{NodeBudget: 2000, ProgressEvery: 500}, mode: ModeBeam},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, events := collectProgress(t, tc.depth, tc.opts)
+			if res.Mode != tc.mode {
+				t.Fatalf("mode %q, want %q", res.Mode, tc.mode)
+			}
+			incumbents := 0
+			lastByMode := map[string]float64{}
+			var lastNodes int64
+			var finalIncumbent float64
+			for _, p := range events {
+				switch p.Kind {
+				case ProgressIncumbent:
+					incumbents++
+					if prev, ok := lastByMode[p.Mode]; ok && p.IncumbentTime >= prev {
+						t.Fatalf("%s incumbent did not improve: %v after %v", p.Mode, p.IncumbentTime, prev)
+					}
+					lastByMode[p.Mode] = p.IncumbentTime
+					if p.Mode == res.Mode {
+						finalIncumbent = p.IncumbentTime
+					}
+					if p.BoundGap < 0 || p.BoundGap >= 1 {
+						t.Fatalf("bound gap %v outside [0, 1)", p.BoundGap)
+					}
+				case ProgressCoverage:
+					if p.Nodes < lastNodes {
+						t.Fatalf("coverage nodes went backwards: %d after %d", p.Nodes, lastNodes)
+					}
+					lastNodes = p.Nodes
+				default:
+					t.Fatalf("unknown progress kind %q", p.Kind)
+				}
+				if p.Mode != ModeBnB && p.Mode != ModeBeam {
+					t.Fatalf("unknown progress mode %q", p.Mode)
+				}
+			}
+			if incumbents == 0 {
+				t.Fatal("no incumbent events")
+			}
+			if finalIncumbent != res.Best[0].Time {
+				t.Fatalf("last %s incumbent %v != best %v", res.Mode, finalIncumbent, res.Best[0].Time)
+			}
+		})
+	}
+}
+
+// TestSearchProgressPublishes checks the other two fan-outs of the sink:
+// the advisor_search_* registry series and the search_progress instant
+// events on the advisor.search span.
+func TestSearchProgressPublishes(t *testing.T) {
+	sc := Scenario{
+		Spec:      cluster.Cloud(7),
+		Hierarchy: cluster.CloudHierarchy(7),
+		Coll:      Alltoall,
+		CommSize:  cluster.CloudHierarchy(7).Size(),
+		Bytes:     1 << 18,
+	}
+	reg := obs.NewRegistry()
+	tracer := rt.NewTracer(rt.Options{Service: "test"})
+	ctx, root := tracer.StartRequest(context.Background(), "test advise", "")
+	res, err := SearchOrders(ctx, sc, SearchOptions{Registry: reg, ProgressEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"advisor_search_incumbent_improvements_total{mode=\"" + res.Mode + "\"}",
+		"advisor_search_incumbent_seconds{mode=\"" + res.Mode + "\"}",
+		"advisor_search_nodes{mode=\"" + res.Mode + "\"}",
+		"advisor_search_bound_gap{mode=\"" + res.Mode + "\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s:\n%s", want, out)
+		}
+	}
+
+	progressEvents := 0
+	for _, in := range tracer.Scope().Instants() {
+		if in.Name == "search_progress" {
+			progressEvents++
+		}
+	}
+	if progressEvents == 0 {
+		t.Fatal("no search_progress instant events on the trace")
+	}
+}

@@ -9,6 +9,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/mapd"
 	"repro/internal/obs"
+	"repro/internal/obs/rt"
 )
 
 func badRequestf(format string, args ...any) error {
@@ -32,9 +34,12 @@ func clientMessage(err error) string {
 // serveFallback answers path locally, flagged degraded, after the fleet
 // failed to. Parse errors still surface as proper 400 envelopes so a bad
 // request is distinguishable from a bad fleet.
-func (g *Router) serveFallback(w http.ResponseWriter, path, ep string, body []byte) {
+func (g *Router) serveFallback(ctx context.Context, w http.ResponseWriter, path, ep string, body []byte) {
+	_, sp := rt.StartSpan(ctx, "gate.fallback")
+	defer sp.End()
 	resp, err := localAnswer(path, body)
 	if err != nil {
+		sp.SetError()
 		if errors.Is(err, mapd.ErrBadRequest) {
 			writeError(w, http.StatusBadRequest, "bad_request", clientMessage(err))
 			return

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/rt"
 )
 
 // ReplicaState classifies one replica for routing decisions. Ordering
@@ -91,8 +92,11 @@ type Checker struct {
 	// onState observes every state change (wired to the fleet_replica_state
 	// gauge); called concurrently.
 	onState func(i int, s ReplicaState)
-	checks  []*obs.Counter // per-replica probe counter, ok results
-	probes  []*obs.Counter // per-replica probe counter, failed results
+	// tracer records each probe as its own head-sampled root span (nil
+	// disables).
+	tracer *rt.Tracer
+	checks []*obs.Counter // per-replica probe counter, ok results
+	probes []*obs.Counter // per-replica probe counter, failed results
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -157,17 +161,23 @@ func (c *Checker) CheckNow(ctx context.Context) {
 }
 
 // probe issues one /healthz request and folds the answer into the state.
+// Each probe is its own root span so sampled gate traces show health
+// sweeps next to the requests they shaped.
 func (c *Checker) probe(ctx context.Context, i int) {
+	ctx, span := c.tracer.StartRequest(ctx, "gate.healthprobe "+c.names[i], "")
+	defer span.End()
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.urls[i]+"/healthz", nil)
 	if err != nil {
 		c.fail(i)
+		span.SetError()
 		return
 	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		c.fail(i)
+		span.SetError()
 		return
 	}
 	var body struct {
@@ -178,6 +188,7 @@ func (c *Checker) probe(ctx context.Context, i int) {
 	_ = resp.Body.Close()
 	if derr != nil {
 		c.fail(i)
+		span.SetError()
 		return
 	}
 	switch body.Status {

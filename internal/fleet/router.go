@@ -19,11 +19,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/mapd"
 	"repro/internal/obs"
+	"repro/internal/obs/rt"
 )
 
 // Config tunes a Router. The zero value is not servable: at least one
@@ -64,6 +66,14 @@ type Config struct {
 	Client *http.Client
 	// Registry receives the fleet_* metrics (default: fresh).
 	Registry *obs.Registry
+	// Tracer records gate-side spans — the route root, one proxy span per
+	// failover/hedge attempt, backoff waits, health probes, and the local
+	// fallback — on the same trace id the gate forwards to the replica
+	// (nil disables tracing; every instrumentation point is nil-safe).
+	Tracer *rt.Tracer
+	// ScrapeTimeout bounds one replica /v1/stats or /v1/slo scrape when
+	// serving the fleet rollup endpoints (default 2s).
+	ScrapeTimeout time.Duration
 	// Logger receives failover/fallback diagnostics (default: discard).
 	Logger *slog.Logger
 }
@@ -92,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRespBody <= 0 {
 		c.MaxRespBody = 64 << 20
 	}
+	if c.ScrapeTimeout <= 0 {
+		c.ScrapeTimeout = 2 * time.Second
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        256,
@@ -118,6 +131,11 @@ type Router struct {
 
 	draining atomic.Bool
 
+	// rollup notes: the last /v1/fleet/stats + /v1/fleet/slo scores per
+	// replica, surfaced on /v1/fleet and the fleet_replica_outlier gauge.
+	rollupMu sync.Mutex
+	notes    []rollupNote
+
 	retries      *obs.Counter
 	failovers    *obs.Counter
 	hedges       *obs.Counter
@@ -143,6 +161,7 @@ func New(cfg Config) (*Router, error) {
 	}
 	g := &Router{
 		cfg:          cfg,
+		notes:        make([]rollupNote, len(cfg.Replicas)),
 		ring:         NewRing(len(cfg.Replicas), cfg.VNodes),
 		budget:       NewBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 		reg:          cfg.Registry,
@@ -167,10 +186,15 @@ func New(cfg Config) (*Router, error) {
 		"fleet_fallback_total":               "Answers served by the router's local degraded fallback, by endpoint.",
 		"fleet_replica_state":                "Replica routing state (0 healthy, 1 degraded, 2 draining, 3 dead).",
 		"fleet_health_checks_total":          "Active health probes, by replica and result.",
+		"fleet_replica_shape_divergence":     "Total-variation distance between a replica's shape-class mix and the fleet's (last rollup).",
+		"fleet_replica_outlier":              "1 when the replica's shape mix or burn rate was flagged an outlier in the last rollup.",
+		"fleet_replica_burn_rate":            "Worst availability/latency burn rate across the replica's endpoints, shortest window (last rollup).",
+		"fleet_scrape_errors_total":          "Replica stats/SLO scrapes that failed during a fleet rollup.",
 	} {
 		cfg.Registry.SetHelp(name, help)
 	}
 	g.checker = NewChecker(cfg.Replicas, cfg.Names, cfg.Health, cfg.Registry)
+	g.checker.tracer = cfg.Tracer
 	for _, n := range cfg.Names {
 		cfg.Registry.Gauge("fleet_replica_state", obs.L("replica", n)).Set(float64(StateHealthy))
 	}
@@ -255,6 +279,20 @@ func (g *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
 		g.serveFleetStatus(w)
 	})
+	mux.HandleFunc("/v1/fleet/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+			return
+		}
+		g.serveFleetStats(r.Context(), w)
+	})
+	mux.HandleFunc("/v1/fleet/slo", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+			return
+		}
+		g.serveFleetSLO(r.Context(), w)
+	})
 	return mux
 }
 
@@ -297,6 +335,11 @@ type replicaStatus struct {
 	Name  string `json:"name"`
 	URL   string `json:"url"`
 	State string `json:"state"`
+	// Rollup scores from the last /v1/fleet/stats and /v1/fleet/slo
+	// serves; absent until a rollup has run.
+	ShapeDivergence float64 `json:"shape_divergence,omitempty"`
+	BurnRate        float64 `json:"burn_rate,omitempty"`
+	Outlier         bool    `json:"outlier,omitempty"`
 }
 
 func (g *Router) serveFleetStatus(w http.ResponseWriter) {
@@ -307,11 +350,17 @@ func (g *Router) serveFleetStatus(w http.ResponseWriter) {
 	if g.cfg.Hedge > 0 {
 		st.Hedge = g.cfg.Hedge.String()
 	}
+	g.rollupMu.Lock()
+	notes := append([]rollupNote(nil), g.notes...)
+	g.rollupMu.Unlock()
 	for i, u := range g.cfg.Replicas {
 		st.Replicas = append(st.Replicas, replicaStatus{
-			Name:  g.cfg.Names[i],
-			URL:   u,
-			State: g.checker.State(i).String(),
+			Name:            g.cfg.Names[i],
+			URL:             u,
+			State:           g.checker.State(i).String(),
+			ShapeDivergence: notes[i].shapeDivergence,
+			BurnRate:        notes[i].burnRate,
+			Outlier:         notes[i].shapeOutlier || notes[i].burnOutlier,
 		})
 	}
 	b, err := json.Marshal(st)
@@ -359,8 +408,16 @@ type upstream struct {
 // authoritative answer.
 func (u upstream) retryable() bool { return u.err != nil || u.status >= 500 }
 
-// route is the proxy pipeline for one request.
+// route is the proxy pipeline for one request. The gate opens the
+// request's root span on the same trace id it forwards (continuing an
+// incoming traceparent when present), so a stitched export shows the
+// gate's routing decisions and the replica's evaluation side by side.
 func (g *Router) route(w http.ResponseWriter, r *http.Request, path, ep string) {
+	ctx, span := g.cfg.Tracer.StartRequest(r.Context(), "gate "+path, r.Header.Get("traceparent"))
+	defer span.End()
+	if tp := span.Traceparent(); tp != "" {
+		w.Header().Set("traceparent", tp)
+	}
 	if g.draining.Load() {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "unavailable", "router is draining")
@@ -388,6 +445,7 @@ func (g *Router) route(w http.ResponseWriter, r *http.Request, path, ep string) 
 	g.budget.Deposit()
 
 	cands := g.candidates(seq)
+	span.SetAttr("candidates", int64(len(cands)))
 	var last upstream
 	haveLast := false
 	var retryAfter time.Duration
@@ -395,10 +453,15 @@ func (g *Router) route(w http.ResponseWriter, r *http.Request, path, ep string) 
 		if attempt > 0 {
 			if !g.budget.Withdraw() {
 				g.budgetDenied.Add(1)
+				span.Event("retry_budget_exhausted", obs.Arg{Key: "attempt", Val: int64(attempt)})
 				break
 			}
 			g.retries.Add(1)
+			span.Event("failover_attempt", obs.Arg{Key: "attempt", Val: int64(attempt)})
+			_, bsp := rt.StartSpan(ctx, "gate.backoff")
+			bsp.SetAttr("attempt", int64(attempt))
 			g.sleep(g.backoffDelay(attempt-1, retryAfter))
+			bsp.End()
 			// Health states may have settled since the failure.
 			cands = g.candidates(seq)
 		}
@@ -407,12 +470,14 @@ func (g *Router) route(w http.ResponseWriter, r *http.Request, path, ep string) 
 		}
 		var u upstream
 		if attempt == 0 && g.cfg.Hedge > 0 && len(cands) > 1 {
-			u = g.sendHedged(r.Context(), cands, path, body, r.Header)
+			u = g.sendHedged(ctx, cands, path, body, r.Header)
 		} else {
-			u = g.send(r.Context(), cands[attempt%len(cands)], path, body, r.Header, false)
+			u = g.send(ctx, cands[attempt%len(cands)], path, body, r.Header, false)
 		}
 		last, haveLast = u, true
 		if !u.retryable() {
+			span.SetAttr("attempts", int64(attempt+1))
+			span.SetAttr("failover", b2i64(u.idx != seq[0]))
 			g.writeUpstream(w, u, seq[0])
 			return
 		}
@@ -420,7 +485,7 @@ func (g *Router) route(w http.ResponseWriter, r *http.Request, path, ep string) 
 	}
 
 	if !g.cfg.DisableFallback {
-		g.serveFallback(w, path, ep, body)
+		g.serveFallback(ctx, w, path, ep, body)
 		return
 	}
 	if haveLast && last.err == nil {
@@ -428,24 +493,37 @@ func (g *Router) route(w http.ResponseWriter, r *http.Request, path, ep string) 
 		g.writeUpstream(w, last, seq[0])
 		return
 	}
+	span.SetError()
 	writeError(w, http.StatusBadGateway, "unavailable", "no replica reachable")
 }
 
 // send proxies one attempt to replica idx and reads the full response.
+// Each attempt is its own child span named after the replica, and the
+// outgoing traceparent is that span's — the replica's spans parent under
+// this exact attempt, not under the route root.
 func (g *Router) send(ctx context.Context, idx int, path string, body []byte, inHdr http.Header, hedge bool) upstream {
 	u := upstream{idx: idx, hedge: hedge}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.Replicas[idx]+path, strings.NewReader(string(body)))
+	sctx, sp := rt.StartSpan(ctx, "proxy "+g.cfg.Names[idx])
+	defer sp.End()
+	sp.SetAttr("hedge", b2i64(hedge))
+	req, err := http.NewRequestWithContext(sctx, http.MethodPost, g.cfg.Replicas[idx]+path, strings.NewReader(string(body)))
 	if err != nil {
 		u.err = err
+		sp.SetError()
 		return u
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if tp := inHdr.Get("traceparent"); tp != "" {
+	tp := sp.Traceparent()
+	if tp == "" {
+		tp = inHdr.Get("traceparent")
+	}
+	if tp != "" {
 		req.Header.Set("traceparent", tp)
 	}
 	resp, err := g.cfg.Client.Do(req)
 	if err != nil {
 		u.err = err
+		sp.SetError()
 		// A cancelled context is the hedge race settling, not evidence
 		// against the replica.
 		if ctx.Err() == nil {
@@ -462,6 +540,7 @@ func (g *Router) send(ctx context.Context, idx int, path string, body []byte, in
 	_ = resp.Body.Close()
 	if err != nil {
 		u.err = err
+		sp.SetError()
 		if ctx.Err() == nil {
 			g.checker.ReportFailure(idx)
 		}
@@ -472,6 +551,10 @@ func (g *Router) send(ctx context.Context, idx int, path string, body []byte, in
 	g.checker.ReportSuccess(idx)
 	if d, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
 		u.retryAfter = d
+	}
+	sp.SetAttr("status", int64(u.status))
+	if u.status >= http.StatusInternalServerError {
+		sp.SetError()
 	}
 	g.reg.Counter("fleet_requests_total",
 		obs.L("replica", g.cfg.Names[idx]), obs.L("code", strconv.Itoa(u.status))).Add(1)
@@ -546,6 +629,13 @@ func (g *Router) backoffDelay(retry int, retryAfter time.Duration) time.Duration
 		d = retryAfter
 	}
 	return d
+}
+
+func b2i64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // writeError emits the structured error envelope mapd clients already

@@ -138,6 +138,7 @@ type Server struct {
 	slo     *rt.SLOTracker
 	logger  *slog.Logger
 	stats   *workloadStats
+	search  *progressTable
 
 	inflightN atomic.Int64 // shedding decision
 	draining  atomic.Bool
@@ -168,6 +169,7 @@ func New(cfg Config) *Server {
 		slo:             cfg.SLO,
 		logger:          cfg.Logger,
 		stats:           newWorkloadStats(cfg.StatsClasses),
+		search:          newProgressTable(defaultProgressRecent),
 		inflight:        cfg.Registry.Gauge("mapd_inflight_requests"),
 		shared:          cfg.Registry.Counter("mapd_singleflight_shared_total"),
 		evals:           cfg.Registry.Counter("mapd_advise_evals_total"),
@@ -176,33 +178,37 @@ func New(cfg Config) *Server {
 		matrixFallbacks: cfg.Registry.Counter("mapd_matrix_fallback_total"),
 	}
 	for name, help := range map[string]string{
-		"mapd_requests_total":                  "Requests served, by endpoint and HTTP status code.",
-		"mapd_request_seconds":                 "End-to-end request latency, by endpoint.",
-		"mapd_cache_hits_total":                "Result-cache hits, by endpoint.",
-		"mapd_cache_misses_total":              "Result-cache misses, by endpoint.",
-		"mapd_inflight_requests":               "Requests currently being served.",
-		"mapd_singleflight_shared_total":       "Evaluations shared between concurrent identical requests.",
-		"mapd_advise_evals_total":              "Full advisor order-search evaluations started.",
-		"mapd_shed_total":                      "Requests shed by the in-flight cap.",
-		"mapd_advise_fallback_total":           "Answers served by the breaker-open fallback, any guarded endpoint.",
-		"mapd_matrix_fallback_total":           "Matrix-map answers degraded to the σ-order baseline (breaker open or over budget).",
-		"mapd_breaker_state":                   "Advisor circuit breaker state (0 closed, 1 open, 2 half-open).",
-		"advisor_search_seconds":               "Order-search latency, by search mode (exact/pruned/bnb/beam/matrix/fallback).",
-		"procmap_map_seconds":                  "Matrix-aware placement latency (σ baseline + greedy + refinement).",
-		"procmap_refine_swaps_total":           "Pairwise swaps applied by matrix-aware refinement.",
-		"procmap_improvement_pct":              "Matrix-aware win over the best σ order, percent (last request).",
-		"advisor_class_hits_total":             "Orders served from an equivalence-class representative, by search mode.",
-		"advisor_class_misses_total":           "Order evaluations actually performed, by search mode.",
-		"mapd_stats_class_requests":            "Workload analytics: requests by canonical shape class (Space-Saving top-K).",
-		"mapd_stats_class_hit_rate":            "Workload analytics: cache hit rate by canonical shape class.",
-		"mapd_stats_depth_requests":            "Workload analytics: requests by hierarchy depth.",
-		"mapd_stats_collective_requests":       "Workload analytics: advise requests by collective.",
-		"mapd_stats_search_requests":           "Workload analytics: order searches by mode (exact/pruned/bnb/beam/matrix/fallback).",
-		"mapd_stats_endpoint_requests":         "Workload analytics: requests by API endpoint.",
-		"mapd_stats_tracked_classes":           "Workload analytics: shape classes currently tracked (≤ K).",
-		"mapd_stats_distinct_classes_estimate": "Workload analytics: sketch estimate of distinct shape classes seen.",
-		"mapd_stats_class_evictions":           "Workload analytics: top-K evictions (count-error churn indicator).",
-		"mapd_stats_cache_hit_rate":            "Workload analytics: overall cache hit rate.",
+		"mapd_requests_total":                         "Requests served, by endpoint and HTTP status code.",
+		"mapd_request_seconds":                        "End-to-end request latency, by endpoint.",
+		"mapd_cache_hits_total":                       "Result-cache hits, by endpoint.",
+		"mapd_cache_misses_total":                     "Result-cache misses, by endpoint.",
+		"mapd_inflight_requests":                      "Requests currently being served.",
+		"mapd_singleflight_shared_total":              "Evaluations shared between concurrent identical requests.",
+		"mapd_advise_evals_total":                     "Full advisor order-search evaluations started.",
+		"mapd_shed_total":                             "Requests shed by the in-flight cap.",
+		"mapd_advise_fallback_total":                  "Answers served by the breaker-open fallback, any guarded endpoint.",
+		"mapd_matrix_fallback_total":                  "Matrix-map answers degraded to the σ-order baseline (breaker open or over budget).",
+		"mapd_breaker_state":                          "Advisor circuit breaker state (0 closed, 1 open, 2 half-open).",
+		"advisor_search_seconds":                      "Order-search latency, by search mode (exact/pruned/bnb/beam/matrix/fallback).",
+		"advisor_search_nodes":                        "Live search progress: nodes expanded by the in-flight bounded search, by mode.",
+		"advisor_search_incumbent_seconds":            "Live search progress: best completion time found so far, by mode.",
+		"advisor_search_bound_gap":                    "Live search progress: (incumbent − root bound)/incumbent, by mode.",
+		"advisor_search_incumbent_improvements_total": "Live search progress: incumbent-improvement events, by mode.",
+		"procmap_map_seconds":                         "Matrix-aware placement latency (σ baseline + greedy + refinement).",
+		"procmap_refine_swaps_total":                  "Pairwise swaps applied by matrix-aware refinement.",
+		"procmap_improvement_pct":                     "Matrix-aware win over the best σ order, percent (last request).",
+		"advisor_class_hits_total":                    "Orders served from an equivalence-class representative, by search mode.",
+		"advisor_class_misses_total":                  "Order evaluations actually performed, by search mode.",
+		"mapd_stats_class_requests":                   "Workload analytics: requests by canonical shape class (Space-Saving top-K).",
+		"mapd_stats_class_hit_rate":                   "Workload analytics: cache hit rate by canonical shape class.",
+		"mapd_stats_depth_requests":                   "Workload analytics: requests by hierarchy depth.",
+		"mapd_stats_collective_requests":              "Workload analytics: advise requests by collective.",
+		"mapd_stats_search_requests":                  "Workload analytics: order searches by mode (exact/pruned/bnb/beam/matrix/fallback).",
+		"mapd_stats_endpoint_requests":                "Workload analytics: requests by API endpoint.",
+		"mapd_stats_tracked_classes":                  "Workload analytics: shape classes currently tracked (≤ K).",
+		"mapd_stats_distinct_classes_estimate":        "Workload analytics: sketch estimate of distinct shape classes seen.",
+		"mapd_stats_class_evictions":                  "Workload analytics: top-K evictions (count-error churn indicator).",
+		"mapd_stats_cache_hit_rate":                   "Workload analytics: overall cache hit rate.",
 	} {
 		cfg.Registry.SetHelp(name, help)
 	}
@@ -235,6 +241,7 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 //	POST /v1/metrics/order  ring cost & pairs per level (§3.3)
 //	GET  /metrics           Prometheus exposition of the registry
 //	GET  /v1/stats          cardinality-bounded workload analytics
+//	GET  /v1/advise/progress  live progress of in-flight deep searches
 //	GET  /v1/slo            rolling SLO burn rates per endpoint
 //	GET  /healthz           liveness probe
 //
@@ -269,14 +276,23 @@ func (s *Server) Handler() http.Handler {
 				s.AdviseHook()
 			}
 			s.evals.Add(1)
-			resp, err := evalAdvise(ctx, q, AdviseOptions{
+			opts := AdviseOptions{
 				Rank: advisor.RankOptions{
 					Workers:  s.cfg.AdviseWorkers,
 					Registry: s.reg,
 					OnStats:  func(rs advisor.RankStats) { s.stats.observeSearch(rs.Mode) },
 				},
 				SearchDepthThreshold: s.cfg.SearchDepthThreshold,
-			})
+			}
+			if q.spec.Hierarchy().Depth() > opts.threshold() {
+				// Deep advise: the bounded search can run for seconds, so
+				// register it with the live-progress table surfaced on
+				// GET /v1/advise/progress.
+				h := s.search.start(q.Key())
+				defer h.finish()
+				opts.Search.Progress = h.update
+			}
+			resp, err := evalAdvise(ctx, q, opts)
 			if s.breaker != nil {
 				// Client errors say nothing about the service's health.
 				s.breaker.Record(err == nil || errors.Is(err, ErrBadRequest))
@@ -376,6 +392,18 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		b, err := json.Marshal(s.stats.report())
+		if err != nil {
+			writeError(r.Context(), w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, append(b, '\n'))
+	})
+	mux.HandleFunc("/v1/advise/progress", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(r.Context(), w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		b, err := json.Marshal(s.search.report())
 		if err != nil {
 			writeError(r.Context(), w, http.StatusInternalServerError, err.Error())
 			return

@@ -226,10 +226,18 @@ func (st *workloadStats) observeSearch(mode string) {
 // distinctEstimate is the HyperLogLog estimator with the small-range
 // linear-counting correction.
 func (st *workloadStats) distinctEstimate() int {
+	return estimateDistinct(st.sketch[:])
+}
+
+// estimateDistinct runs the HyperLogLog estimate over a 64-register
+// sketch (raw registers, as workloadStats keeps them and StatsReport
+// exports them). Registers from several replicas merge losslessly by
+// per-register max before estimating — see MergeStats.
+func estimateDistinct(sketch []uint8) int {
 	const m = float64(sketchRegisters)
 	var sum float64
 	zeros := 0
-	for _, r := range st.sketch {
+	for _, r := range sketch {
 		sum += math.Pow(2, -float64(r))
 		if r == 0 {
 			zeros++
@@ -276,6 +284,11 @@ type StatsReport struct {
 	MaxClasses              int    `json:"max_classes"`
 	DistinctClassesEstimate int    `json:"distinct_classes_estimate"`
 	Evictions               uint64 `json:"evictions"`
+	// DistinctSketch is the raw 64-register distinct-class sketch (the
+	// max leading-zero rank seen per register), exported so a fleet-level
+	// rollup can merge replicas' sketches losslessly (per-register max)
+	// instead of summing their estimates.
+	DistinctSketch []int `json:"distinct_sketch,omitempty"`
 	// Classes is the top-K by request count, descending.
 	Classes     []ClassReport     `json:"classes"`
 	Depths      []DepthCount      `json:"depth_histogram"`
@@ -304,6 +317,12 @@ func (st *workloadStats) report() StatsReport {
 	}
 	if st.total > 0 {
 		rep.CacheHitRate = float64(st.hits) / float64(st.total)
+	}
+	if st.total > 0 {
+		rep.DistinctSketch = make([]int, sketchRegisters)
+		for i, r := range st.sketch {
+			rep.DistinctSketch[i] = int(r)
+		}
 	}
 	for k, v := range st.colls {
 		rep.Collectives[k] = v

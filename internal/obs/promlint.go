@@ -1,0 +1,222 @@
+// Promtool-style linting of the text exposition, exported so packages
+// that register metrics against their own registry (internal/fleet's
+// fleet_* series in particular) can assert the same structural
+// invariants the in-package promlint tests enforce: metric and label
+// name charsets, label value escaping, HELP/TYPE placement, and series
+// uniqueness — everything a real Prometheus scraper would reject.
+
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRe splits "name{labels} value" / "name value".
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$`)
+)
+
+// PromSample is one parsed sample line of a text exposition.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// parsePromLabels walks a {k="v",...} block, undoing exposition escapes,
+// and errors on any syntax a Prometheus parser would reject.
+func parsePromLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	if s == "" {
+		return out, nil
+	}
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return nil, fmt.Errorf("label block not braced: %q", s)
+	}
+	body := s[1 : len(s)-1]
+	i := 0
+	for i < len(body) {
+		j := strings.IndexByte(body[i:], '=')
+		if j < 0 {
+			return nil, fmt.Errorf("label block missing '=': %q", body[i:])
+		}
+		name := body[i : i+j]
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("bad label name %q in %q", name, s)
+		}
+		i += j + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label value not quoted at %q", body[i:])
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("dangling backslash in %q", s)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("illegal escape \\%c in %q", body[i+1], s)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				return nil, fmt.Errorf("raw newline inside label value in %q", s)
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q in %q", name, s)
+		}
+		out[name] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' after label in %q, got %q", s, body[i:])
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+// promBaseName strips the histogram sample suffixes off a metric name.
+func promBaseName(name string) string {
+	return strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+		"_bucket"), "_sum"), "_count")
+}
+
+// LintPrometheus parses a full text exposition (as WritePrometheus
+// produces), erroring on any grammar or structure violation a scraper
+// would reject, and returns the samples.
+func LintPrometheus(out string) ([]PromSample, error) {
+	typeOf := map[string]string{}
+	helped := map[string]bool{}
+	seen := map[string]bool{}
+	var samples []PromSample
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			return nil, fmt.Errorf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("malformed HELP line: %q", line)
+			}
+			if helped[name] {
+				return nil, fmt.Errorf("duplicate HELP for %s", name)
+			}
+			if _, typedAlready := typeOf[name]; typedAlready {
+				return nil, fmt.Errorf("HELP for %s after its TYPE line", name)
+			}
+			helped[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !metricNameRe.MatchString(fields[0]) {
+				return nil, fmt.Errorf("malformed TYPE line: %q", line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("unknown type %q in %q", fields[1], line)
+			}
+			if _, dup := typeOf[fields[0]]; dup {
+				return nil, fmt.Errorf("duplicate TYPE for %s", fields[0])
+			}
+			typeOf[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("unexpected comment line: %q", line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("unparseable sample line: %q", line)
+		}
+		name, labelBlock, valStr := m[1], m[2], m[3]
+		if _, ok := typeOf[name]; !ok {
+			if _, ok := typeOf[promBaseName(name)]; !ok {
+				return nil, fmt.Errorf("sample %q precedes its TYPE line", line)
+			}
+		}
+		if valStr == "+Inf" || valStr == "-Inf" || valStr == "NaN" {
+			return nil, fmt.Errorf("non-finite sample value in %q", line)
+		}
+		value, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample value in %q: %v", line, err)
+		}
+		labels, err := parsePromLabels(labelBlock)
+		if err != nil {
+			return nil, err
+		}
+		key := name + fmt.Sprint(labels)
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate series: %q", line)
+		}
+		seen[key] = true
+		samples = append(samples, PromSample{Name: name, Labels: labels, Value: value})
+	}
+	return samples, nil
+}
+
+// MissingHelp returns, sorted, the base metric names in the exposition
+// that match one of the prefixes but carry no HELP line — the exposition
+// hygiene check service packages run over their own registries.
+func MissingHelp(out string, prefixes ...string) []string {
+	helped := map[string]bool{}
+	bases := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			if name, _, ok := strings.Cut(strings.TrimPrefix(line, "# HELP "), " "); ok {
+				helped[name] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if m := sampleRe.FindStringSubmatch(line); m != nil {
+			bases[promBaseName(m[1])] = true
+		}
+	}
+	var missing []string
+	for base := range bases {
+		if helped[base] {
+			continue
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(base, p) {
+				missing = append(missing, base)
+				break
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

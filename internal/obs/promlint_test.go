@@ -3,99 +3,18 @@
 // produces against the format's grammar and check the structural
 // invariants a real Prometheus scraper enforces — metric and label name
 // charsets, label value escaping, HELP/TYPE placement, histogram bucket
-// ordering and cumulativity, and series uniqueness.
+// ordering and cumulativity, and series uniqueness. The parser itself
+// lives in promlint.go (LintPrometheus) so service packages can lint
+// their own registries; these tests drive it through a thin adapter.
 
 package obs
 
 import (
 	"bytes"
-	"fmt"
-	"regexp"
 	"strconv"
 	"strings"
 	"testing"
 )
-
-var (
-	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
-	// sampleRe splits "name{labels} value" / "name value".
-	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$`)
-)
-
-// parseLabelSet walks a {k="v",...} block, undoing exposition escapes.
-// It fails the test on any syntax a Prometheus parser would reject.
-func parseLabelSet(t *testing.T, s string) map[string]string {
-	t.Helper()
-	out := map[string]string{}
-	if s == "" {
-		return out
-	}
-	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
-		t.Fatalf("label block not braced: %q", s)
-	}
-	body := s[1 : len(s)-1]
-	i := 0
-	for i < len(body) {
-		j := strings.IndexByte(body[i:], '=')
-		if j < 0 {
-			t.Fatalf("label block missing '=': %q", body[i:])
-		}
-		name := body[i : i+j]
-		if !labelNameRe.MatchString(name) {
-			t.Fatalf("bad label name %q in %q", name, s)
-		}
-		i += j + 1
-		if i >= len(body) || body[i] != '"' {
-			t.Fatalf("label value not quoted at %q", body[i:])
-		}
-		i++
-		var val strings.Builder
-		for {
-			if i >= len(body) {
-				t.Fatalf("unterminated label value in %q", s)
-			}
-			c := body[i]
-			if c == '\\' {
-				if i+1 >= len(body) {
-					t.Fatalf("dangling backslash in %q", s)
-				}
-				switch body[i+1] {
-				case '\\':
-					val.WriteByte('\\')
-				case '"':
-					val.WriteByte('"')
-				case 'n':
-					val.WriteByte('\n')
-				default:
-					t.Fatalf("illegal escape \\%c in %q", body[i+1], s)
-				}
-				i += 2
-				continue
-			}
-			if c == '"' {
-				i++
-				break
-			}
-			if c == '\n' {
-				t.Fatalf("raw newline inside label value in %q", s)
-			}
-			val.WriteByte(c)
-			i++
-		}
-		if _, dup := out[name]; dup {
-			t.Fatalf("duplicate label %q in %q", name, s)
-		}
-		out[name] = val.String()
-		if i < len(body) {
-			if body[i] != ',' {
-				t.Fatalf("expected ',' after label in %q, got %q", s, body[i:])
-			}
-			i++
-		}
-	}
-	return out
-}
 
 type promSeries struct {
 	name   string
@@ -107,75 +26,13 @@ type promSeries struct {
 // structure violation, and returns the samples.
 func lintExposition(t *testing.T, out string) []promSeries {
 	t.Helper()
-	typeOf := map[string]string{}
-	helped := map[string]bool{}
-	seen := map[string]bool{}
-	var samples []promSeries
-	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
-		if line == "" {
-			t.Fatal("blank line in exposition")
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			rest := strings.TrimPrefix(line, "# HELP ")
-			name, _, ok := strings.Cut(rest, " ")
-			if !ok || !metricNameRe.MatchString(name) {
-				t.Fatalf("malformed HELP line: %q", line)
-			}
-			if helped[name] {
-				t.Fatalf("duplicate HELP for %s", name)
-			}
-			if _, typedAlready := typeOf[name]; typedAlready {
-				t.Fatalf("HELP for %s after its TYPE line", name)
-			}
-			helped[name] = true
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
-			if len(fields) != 2 || !metricNameRe.MatchString(fields[0]) {
-				t.Fatalf("malformed TYPE line: %q", line)
-			}
-			switch fields[1] {
-			case "counter", "gauge", "histogram", "summary", "untyped":
-			default:
-				t.Fatalf("unknown type %q in %q", fields[1], line)
-			}
-			if _, dup := typeOf[fields[0]]; dup {
-				t.Fatalf("duplicate TYPE for %s", fields[0])
-			}
-			typeOf[fields[0]] = fields[1]
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			t.Fatalf("unexpected comment line: %q", line)
-		}
-		m := sampleRe.FindStringSubmatch(line)
-		if m == nil {
-			t.Fatalf("unparseable sample line: %q", line)
-		}
-		name, labelBlock, valStr := m[1], m[2], m[3]
-		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
-			"_bucket"), "_sum"), "_count")
-		if _, ok := typeOf[name]; !ok {
-			if _, ok := typeOf[base]; !ok {
-				t.Fatalf("sample %q precedes its TYPE line", line)
-			}
-		}
-		var value float64
-		if valStr == "+Inf" || valStr == "-Inf" || valStr == "NaN" {
-			t.Fatalf("non-finite sample value in %q", line)
-		}
-		value, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			t.Fatalf("bad sample value in %q: %v", line, err)
-		}
-		labels := parseLabelSet(t, labelBlock)
-		key := name + fmt.Sprint(labels)
-		if seen[key] {
-			t.Fatalf("duplicate series: %q", line)
-		}
-		seen[key] = true
-		samples = append(samples, promSeries{name: name, labels: labels, value: value})
+	parsed, err := LintPrometheus(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]promSeries, 0, len(parsed))
+	for _, s := range parsed {
+		samples = append(samples, promSeries{name: s.Name, labels: s.Labels, value: s.Value})
 	}
 	return samples
 }
@@ -239,14 +96,31 @@ func TestPrometheusLintCatchesBadLabelName(t *testing.T) {
 	if err := WritePrometheus(&buf, r); err != nil {
 		t.Fatal(err)
 	}
-	mock := &testing.T{}
-	done := make(chan bool, 1)
-	go func() {
-		defer func() { done <- mock.Failed() }()
-		lintExposition(mock, buf.String())
-	}()
-	if failed := <-done; !failed {
+	if _, err := LintPrometheus(buf.String()); err == nil {
 		t.Fatal("lint accepted an invalid label name")
+	}
+}
+
+func TestMissingHelp(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("app_with_help_total", "Documented.")
+	r.Counter("app_with_help_total").Add(1)
+	r.Counter("app_naked_total").Add(1)
+	r.Histogram("app_naked_seconds", []float64{0.1, 1}).Observe(0.5)
+	r.Counter("other_naked_total").Add(1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got := MissingHelp(buf.String(), "app_")
+	want := []string{"app_naked_seconds", "app_naked_total"}
+	if len(got) != len(want) {
+		t.Fatalf("MissingHelp = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MissingHelp = %v, want %v", got, want)
+		}
 	}
 }
 

@@ -177,6 +177,7 @@ type traceBuf struct {
 
 	mu        sync.Mutex
 	spans     []obs.Span
+	instants  []obs.Instant
 	errored   bool
 	committed bool
 	dropped   bool
@@ -313,6 +314,35 @@ func (s *Span) SetAttr(key string, v int64) {
 	s.mu.Unlock()
 }
 
+// Event records a zero-duration marker at the current instant on the
+// span's trace track (a Perfetto instant event) — a point-in-time stream
+// like the advisor's search_progress events. Events follow the trace's
+// head-sampling commit decision exactly like spans: buffered until the
+// root ends, then flushed or dropped with the rest of the trace.
+func (s *Span) Event(name string, args ...obs.Arg) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	in := obs.Instant{
+		PID:  ServerPID,
+		Name: name,
+		Cat:  "rt",
+		At:   t.now().Sub(t.epoch).Seconds(),
+		Args: args,
+	}
+	b := s.buf
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.dropped:
+	case b.committed:
+		t.scope.Instant(in.PID, b.tid, in.Name, in.Cat, in.At, in.Args...)
+	default:
+		b.instants = append(b.instants, in)
+	}
+}
+
 // SetError marks the span (and therefore its whole trace) as failed: the
 // trace is committed even if the head decision said drop.
 func (s *Span) SetError() {
@@ -370,6 +400,7 @@ func (s *Span) End() {
 			} else {
 				b.dropped = true
 				b.spans = nil
+				b.instants = nil
 			}
 		}
 	}
@@ -409,5 +440,9 @@ func (t *Tracer) commit(b *traceBuf) {
 	for _, sp := range b.spans {
 		t.scope.Span(sp.PID, b.tid, sp.Name, sp.Cat, sp.Start, sp.End, sp.Args...)
 	}
+	for _, in := range b.instants {
+		t.scope.Instant(in.PID, b.tid, in.Name, in.Cat, in.At, in.Args...)
+	}
 	b.spans = nil
+	b.instants = nil
 }

@@ -1,0 +1,173 @@
+// Cross-process trace stitching: merge the Perfetto exports of several
+// cooperating processes (a gate and its replicas) into one Scope, joined
+// on the W3C trace ids both sides committed their spans under. The rt
+// tracer names each committed trace's thread track "trace <id>", so the
+// same request shows up as one track per process; stitching re-homes each
+// process under its own Perfetto pid and aligns the clocks so the gate's
+// proxy span and the replica's server span of one request overlap in the
+// flame view.
+//
+// Clock alignment: each export's timestamps are seconds since that
+// process's tracer epoch, so two exports disagree by one (per-process)
+// constant. For every trace id shared with the anchor (the first input,
+// by convention the gate) the midpoint of the input's span envelope
+// should coincide with the midpoint of the anchor's envelope for the same
+// trace; the per-input offset is the median of those midpoint deltas —
+// exact for a single proxied attempt, a close approximation under
+// failover/hedging.
+
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// traceThreadPrefix is the rt tracer's thread-track naming convention
+// stitching joins on.
+const traceThreadPrefix = "trace "
+
+// StitchInput is one process's trace export to merge.
+type StitchInput struct {
+	// Label names the input's Perfetto process in the stitched output;
+	// empty falls back to the input scope's own first process name.
+	Label string
+	Scope *Scope
+}
+
+// StitchedTrace summarizes one trace id of the stitched output.
+type StitchedTrace struct {
+	// ID is the W3C trace id hex.
+	ID string
+	// Spans counts the trace's spans per input, aligned with the inputs
+	// slice handed to Stitch.
+	Spans []int
+	// Shared reports whether more than one input contributed spans —
+	// i.e. the trace actually crossed a process boundary.
+	Shared bool
+}
+
+// Stitch merges the inputs into one Scope: input i becomes Perfetto
+// process i+1 (named by its label), every track name is preserved, and
+// non-anchor inputs are time-shifted onto the anchor's clock via shared
+// trace ids. The returned summaries are sorted by trace id.
+func Stitch(inputs []StitchInput) (*Scope, []StitchedTrace) {
+	total := 1
+	for _, in := range inputs {
+		total += len(in.Scope.Spans()) + len(in.Scope.Instants())
+	}
+	out := New(Options{MaxSpans: total})
+
+	// Per input: trace id -> [envelope start, envelope end] over the spans
+	// on that trace's thread track.
+	envelopes := make([]map[string][2]float64, len(inputs))
+	for i, in := range inputs {
+		env := map[string][2]float64{}
+		for _, sp := range in.Scope.Spans() {
+			id, ok := spanTraceID(in.Scope, sp)
+			if !ok {
+				continue
+			}
+			e, seen := env[id]
+			if !seen {
+				e = [2]float64{sp.Start, sp.End}
+			} else {
+				if sp.Start < e[0] {
+					e[0] = sp.Start
+				}
+				if sp.End > e[1] {
+					e[1] = sp.End
+				}
+			}
+			env[id] = e
+		}
+		envelopes[i] = env
+	}
+
+	perTrace := map[string][]int{}
+	for i, in := range inputs {
+		pid := i + 1
+		label := in.Label
+		if label == "" {
+			label = firstProcessName(in.Scope)
+		}
+		out.SetProcessName(pid, label)
+		_, threads := in.Scope.trackNames()
+		for _, th := range threads {
+			out.SetThreadName(pid, th.TID, th.Name)
+		}
+		off := clockOffset(envelopes[0], envelopes[i], i == 0)
+		for _, sp := range in.Scope.Spans() {
+			out.Span(pid, sp.TID, sp.Name, sp.Cat, sp.Start+off, sp.End+off, sp.Args...)
+			if id, ok := spanTraceID(in.Scope, sp); ok {
+				counts, seen := perTrace[id]
+				if !seen {
+					counts = make([]int, len(inputs))
+				}
+				counts[i]++
+				perTrace[id] = counts
+			}
+		}
+		for _, ev := range in.Scope.Instants() {
+			out.Instant(pid, ev.TID, ev.Name, ev.Cat, ev.At+off, ev.Args...)
+		}
+		for k, v := range in.Scope.Meta() {
+			out.SetMeta(label+"."+k, v)
+		}
+	}
+
+	summaries := make([]StitchedTrace, 0, len(perTrace))
+	for id, counts := range perTrace {
+		contributors := 0
+		for _, n := range counts {
+			if n > 0 {
+				contributors++
+			}
+		}
+		summaries = append(summaries, StitchedTrace{ID: id, Spans: counts, Shared: contributors > 1})
+	}
+	sort.Slice(summaries, func(i, j int) bool { return summaries[i].ID < summaries[j].ID })
+	return out, summaries
+}
+
+// spanTraceID resolves the trace id a span was committed under, via the
+// rt thread-naming convention.
+func spanTraceID(sc *Scope, sp Span) (string, bool) {
+	name := sc.ThreadName(sp.PID, sp.TID)
+	if !strings.HasPrefix(name, traceThreadPrefix) {
+		return "", false
+	}
+	return strings.TrimPrefix(name, traceThreadPrefix), true
+}
+
+// firstProcessName returns the lowest-pid process name of the scope.
+func firstProcessName(sc *Scope) string {
+	procs, _ := sc.trackNames()
+	if len(procs) == 0 {
+		return "process"
+	}
+	return procs[0].Name
+}
+
+// clockOffset estimates the constant to add to an input's timestamps to
+// land on the anchor's clock: the median over shared trace ids of
+// (anchor envelope midpoint − input envelope midpoint). The anchor, and
+// any input sharing no trace with it, keeps its own clock.
+func clockOffset(anchor, input map[string][2]float64, isAnchor bool) float64 {
+	if isAnchor {
+		return 0
+	}
+	var deltas []float64
+	for id, e := range input {
+		a, ok := anchor[id]
+		if !ok {
+			continue
+		}
+		deltas = append(deltas, (a[0]+a[1])/2-(e[0]+e[1])/2)
+	}
+	if len(deltas) == 0 {
+		return 0
+	}
+	sort.Float64s(deltas)
+	return deltas[len(deltas)/2]
+}

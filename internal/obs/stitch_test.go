@@ -1,0 +1,126 @@
+// Trace stitching: two rt tracer exports sharing a trace id merge into
+// one scope with per-input Perfetto processes, preserved thread tracks,
+// and the replica's clock shifted onto the gate's.
+
+package obs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/rt"
+)
+
+// fakeClock is a manually advanced clock for deterministic span times.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestStitchAlignsSharedTrace(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	// Gate: root [0ms, 30ms] with a proxy child and an instant event.
+	gc := &fakeClock{t: base}
+	gate := rt.NewTracer(rt.Options{Service: "mrgate", Now: gc.now})
+	ctx, root := gate.StartRequest(context.Background(), "gate /v1/advise", "")
+	tp := root.Traceparent()
+	gc.advance(10 * time.Millisecond)
+	_, proxy := rt.StartSpan(ctx, "proxy r0")
+	root.Event("failover_attempt", obs.Arg{Key: "attempt", Val: 1})
+	gc.advance(10 * time.Millisecond)
+	proxy.End()
+	gc.advance(10 * time.Millisecond)
+	root.End()
+
+	// Replica: same trace id, but its tracer epoch makes the request span
+	// sit at [100ms, 120ms] on its own clock — a 95ms skew from the
+	// gate's [5ms, 25ms] view of the same wall-clock window.
+	rc := &fakeClock{t: base}
+	rep := rt.NewTracer(rt.Options{Service: "mrserved", Now: rc.now})
+	rc.advance(100 * time.Millisecond)
+	_, rroot := rep.StartRequest(context.Background(), "http /v1/advise", tp)
+	rc.advance(20 * time.Millisecond)
+	rroot.End()
+	// A replica-only trace: copied with the same offset, not shared.
+	_, solo := rep.StartRequest(context.Background(), "http /metrics", "")
+	solo.End()
+
+	merged, summaries := obs.Stitch([]obs.StitchInput{
+		{Label: "mrgate", Scope: gate.Scope()},
+		{Label: "mrserved-0", Scope: rep.Scope()},
+	})
+
+	if got := merged.ProcessName(1); got != "mrgate" {
+		t.Fatalf("pid 1 = %q", got)
+	}
+	if got := merged.ProcessName(2); got != "mrserved-0" {
+		t.Fatalf("pid 2 = %q", got)
+	}
+
+	id, _, _, ok := rt.ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("bad traceparent %q", tp)
+	}
+	shared := 0
+	for _, s := range summaries {
+		if s.ID == id.String() {
+			shared++
+			if !s.Shared {
+				t.Fatalf("trace %s not marked shared: %+v", s.ID, s)
+			}
+			if len(s.Spans) != 2 || s.Spans[0] != 2 || s.Spans[1] != 1 {
+				t.Fatalf("trace %s span counts = %v, want [2 1]", s.ID, s.Spans)
+			}
+		} else if s.Shared {
+			t.Fatalf("replica-only trace %s marked shared", s.ID)
+		}
+	}
+	if shared != 1 {
+		t.Fatalf("shared trace id missing from summaries: %+v", summaries)
+	}
+
+	// Clock alignment: the gate's envelope for the trace is [0ms, 30ms] →
+	// midpoint 15ms; the replica recorded [100ms, 120ms] → midpoint
+	// 110ms; the −95ms offset lands its span at [5ms, 25ms].
+	var repSpan *obs.Span
+	for _, sp := range merged.Spans() {
+		sp := sp
+		if sp.PID == 2 && sp.Name == "http /v1/advise" {
+			repSpan = &sp
+		}
+	}
+	if repSpan == nil {
+		t.Fatal("replica span missing from the stitched scope")
+	}
+	const eps = 1e-9
+	if repSpan.Start < 0.005-eps || repSpan.Start > 0.005+eps ||
+		repSpan.End < 0.025-eps || repSpan.End > 0.025+eps {
+		t.Fatalf("replica span not aligned: [%v, %v], want [0.005, 0.025]", repSpan.Start, repSpan.End)
+	}
+
+	// The gate's instant event rides along on its trace track.
+	events := 0
+	for _, in := range merged.Instants() {
+		if in.PID == 1 && in.Name == "failover_attempt" {
+			events++
+		}
+	}
+	if events != 1 {
+		t.Fatalf("gate instant events in stitched scope = %d", events)
+	}
+
+	// Thread tracks keep the "trace <id>" naming so a re-stitch (or a
+	// reader) can still join on them.
+	found := false
+	for _, sp := range merged.Spans() {
+		if sp.PID == 2 && merged.ThreadName(2, sp.TID) == "trace "+id.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("replica trace track name not preserved")
+	}
+}
